@@ -1,0 +1,264 @@
+(** The [retreet] command-line tool: parse and check Retreet programs,
+    verify data-race freedom and transformation correctness, run programs
+    on concrete trees, apply transformations, compare against the coarse
+    baseline analysis, and export queries in MONA syntax. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log query progress.")
+
+(* Sources: either a file or one of the built-in case-study programs
+   (prefix "builtin:"). *)
+let load_source (path : string) : Blocks.t =
+  if String.length path > 8 && String.sub path 0 8 = "builtin:" then begin
+    let name = String.sub path 8 (String.length path - 8) in
+    match List.assoc_opt name Programs.all_named with
+    | Some src -> Programs.load src
+    | None ->
+      Fmt.epr "unknown builtin %s; available:@.%a@." name
+        Fmt.(list ~sep:cut string)
+        (List.map fst Programs.all_named);
+      exit 2
+  end
+  else Wf.check_exn (Parser.parse_file path)
+
+let file_arg n doc = Arg.(required & pos n (some string) None & info [] ~doc)
+
+(* --- check --- *)
+
+let check_cmd =
+  let run verbose file =
+    setup_logs verbose;
+    let info = load_source file in
+    Fmt.pr "%d functions, %d blocks, %d conditions@."
+      (List.length info.prog.funcs)
+      (Blocks.nblocks info)
+      (Array.length info.conds);
+    List.iter
+      (fun (b : Blocks.block_info) ->
+        Fmt.pr "  %-8s %-16s %s  [%a]@." b.label b.bfunc
+          (match b.block with Ast.Call _ -> "call" | Ast.Straight _ -> "block")
+          Fmt.(
+            list ~sep:(any " ")
+              (fun ppf (c, pol) ->
+                Fmt.pf ppf "%sc%d" (if pol then "" else "!") c))
+          b.guards)
+      (Blocks.all_blocks info);
+    Fmt.pr "well-formed.@.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse a program and report its block structure.")
+    Term.(const run $ verbose_arg $ file_arg 0 "Program file or builtin:NAME.")
+
+(* --- race --- *)
+
+let race_cmd =
+  let run verbose file =
+    setup_logs verbose;
+    let info = load_source file in
+    match Analysis.check_data_race info with
+    | Analysis.Race_free ->
+      Fmt.pr "data-race-free.@.";
+      0
+    | Analysis.Race cx ->
+      Fmt.pr "DATA RACE:@.%a@.concrete replay confirms: %b@."
+        (Analysis.pp_counterexample info)
+        cx
+        (Analysis.replay_race info cx);
+      1
+  in
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:"Check data-race freedom (the paper's DataRace query).")
+    Term.(const run $ verbose_arg $ file_arg 0 "Program file or builtin:NAME.")
+
+(* --- equiv --- *)
+
+let map_arg =
+  Arg.(
+    value
+    & opt (list ~sep:',' (pair ~sep:'=' string string)) []
+    & info [ "map" ]
+        ~doc:
+          "Non-call block correspondence, e.g. s0=fnil,s3=fret.  May be \
+           multivalued (repeat a source label).")
+
+let equiv_cmd =
+  let run verbose f1 f2 map =
+    setup_logs verbose;
+    let p = load_source f1 and p' = load_source f2 in
+    match Analysis.check_equivalence p p' ~map with
+    | Analysis.Equivalent { relation } ->
+      Fmt.pr "equivalent (bisimulation with %d call pairs).@."
+        (List.length relation);
+      0
+    | Analysis.Not_equivalent cx ->
+      Fmt.pr "NOT equivalent:@.%a@.concrete replay differs: %b@."
+        (Analysis.pp_counterexample p) cx
+        (Analysis.replay_equivalence p p' cx);
+      1
+    | Analysis.Bisimulation_failed why ->
+      Fmt.pr "bisimulation failed: %s@." why;
+      2
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Check that two programs are equivalent (the paper's Conflict \
+          query over a bisimulation).")
+    Term.(
+      const run $ verbose_arg
+      $ file_arg 0 "Original program."
+      $ file_arg 1 "Transformed program."
+      $ map_arg)
+
+(* --- run --- *)
+
+let tree_arg =
+  Arg.(
+    value
+    & opt string "complete:3"
+    & info [ "tree" ]
+        ~doc:"Input tree: complete:H or random:SIZE[:SEED].")
+
+let int_args =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "args" ] ~doc:"Int arguments for Main.")
+
+let build_tree spec =
+  match String.split_on_char ':' spec with
+  | [ "complete"; h ] ->
+    Heap.complete_tree ~height:(int_of_string h) ~init:(fun _ -> [])
+  | "random" :: size :: rest ->
+    let seed = match rest with [ s ] -> int_of_string s | _ -> 42 in
+    Heap.random ~size:(int_of_string size) (Random.State.make [| seed |])
+  | _ ->
+    Fmt.epr "bad tree spec %S@." spec;
+    exit 2
+
+let run_cmd =
+  let run verbose file tree args =
+    setup_logs verbose;
+    let info = load_source file in
+    let heap = build_tree tree in
+    let { Interp.returns; events } = Interp.run info heap args in
+    Fmt.pr "returned: %a@." Fmt.(Dump.list int) returns;
+    Fmt.pr "%d iterations@." (List.length events);
+    Fmt.pr "final heap: %a@." Heap.pp heap;
+    let races = Interp.races info events in
+    if races <> [] then
+      Fmt.pr "dynamic races observed: %d (first on %a)@." (List.length races)
+        Interp.pp_loc (List.hd races).race_loc;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a program on a concrete tree.")
+    Term.(
+      const run $ verbose_arg
+      $ file_arg 0 "Program file or builtin:NAME."
+      $ tree_arg $ int_args)
+
+(* --- fuse --- *)
+
+let fuse_cmd =
+  let run verbose file traversals =
+    setup_logs verbose;
+    let info = load_source file in
+    match Transform.fuse info.prog traversals with
+    | Error e ->
+      Fmt.epr "cannot fuse: %s@." e;
+      1
+    | Ok (prog', map) ->
+      Fmt.pr "%a@.@.// block map: %a@." Ast.pp_prog prog'
+        Fmt.(
+          list ~sep:(any ", ")
+            (fun ppf (a, b) -> Fmt.pf ppf "%s=%s" a b))
+        map;
+      0
+  in
+  Cmd.v
+    (Cmd.info "fuse"
+       ~doc:"Fuse post-order traversals into one; prints the fused program \
+             and the block map for $(b,equiv).")
+    Term.(
+      const run $ verbose_arg
+      $ file_arg 0 "Program file or builtin:NAME."
+      $ Arg.(
+          value
+          & opt (list string) []
+          & info [ "traversals" ] ~doc:"Traversals to fuse, in order."))
+
+(* --- baseline --- *)
+
+let baseline_cmd =
+  let run verbose file a b =
+    setup_logs verbose;
+    let info = load_source file in
+    Fmt.pr "coarse baseline: fuse %s and %s: %a@." a b Baseline.pp_verdict
+      (Baseline.can_fuse info.prog a b);
+    0
+  in
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:"Ask the TreeFuser-style coarse analysis about a transformation.")
+    Term.(
+      const run $ verbose_arg
+      $ file_arg 0 "Program file or builtin:NAME."
+      $ Arg.(required & pos 1 (some string) None & info [] ~doc:"Traversal A.")
+      $ Arg.(required & pos 2 (some string) None & info [] ~doc:"Traversal B."))
+
+(* --- mona --- *)
+
+let mona_cmd =
+  let run verbose file output =
+    setup_logs verbose;
+    let info = load_source file in
+    let enc = Encode.make info in
+    let ns1 = { Encode.tag = ""; cfg = 1 } and ns2 = { Encode.tag = ""; cfg = 2 } in
+    let noncalls = Blocks.all_noncalls info in
+    let q1 = List.hd noncalls and q2 = List.hd noncalls in
+    let current1 = Some (q1, "x1") and current2 = Some (q2, "x2") in
+    let f =
+      Mso.and_l
+        [
+          Encode.configuration enc ns1 ~q:q1 ~x:"x1";
+          Encode.configuration enc ns2 ~q:q2 ~x:"x2";
+          Encode.conflict_access enc ns1 ns2 ~q1 ~x1:"x1" ~q2 ~x2:"x2";
+          Mso.or_l
+            (Encode.parallel_cases enc ns1 ns2 ~current1 ~current2);
+        ]
+    in
+    let env =
+      ("x1", Mso.FO) :: ("x2", Mso.FO) :: Encode.label_env enc [ ns1; ns2 ]
+    in
+    Mona.write_mona ~path:output env f;
+    Fmt.pr "wrote %s@." output;
+    0
+  in
+  Cmd.v
+    (Cmd.info "mona"
+       ~doc:"Export the first data-race query in MONA (WS2S) syntax.")
+    Term.(
+      const run $ verbose_arg
+      $ file_arg 0 "Program file or builtin:NAME."
+      $ Arg.(value & opt string "query.mona" & info [ "o" ] ~doc:"Output file."))
+
+let () =
+  let doc = "Reasoning about recursive tree traversals (Retreet)" in
+  let main =
+    Cmd.group (Cmd.info "retreet" ~doc)
+      [
+        check_cmd; race_cmd; equiv_cmd; run_cmd; fuse_cmd; baseline_cmd;
+        mona_cmd;
+      ]
+  in
+  exit (Cmd.eval' main)

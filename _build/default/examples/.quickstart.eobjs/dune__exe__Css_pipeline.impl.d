@@ -1,0 +1,1 @@
+examples/css_pipeline.ml: Analysis Baseline Css_ast Css_lcrs Css_minify Css_parser Fmt Heap Interp Programs

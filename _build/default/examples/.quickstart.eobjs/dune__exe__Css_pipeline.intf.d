@@ -1,0 +1,1 @@
+examples/css_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/cycletree_routing.ml: Analysis Ast Blocks Cycletree Fmt Heap Interp List Programs String

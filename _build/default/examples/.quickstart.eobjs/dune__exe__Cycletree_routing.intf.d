@@ -1,0 +1,1 @@
+examples/cycletree_routing.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Baseline Blocks Fmt Heap Interp List Parser Programs Wf

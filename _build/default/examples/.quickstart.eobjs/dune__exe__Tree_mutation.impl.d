@@ -1,0 +1,1 @@
+examples/tree_mutation.ml: Analysis Ast Fmt Heap Interp List Programs Random String Transform Wf

@@ -1,0 +1,543 @@
+(** Top-level verification queries: data-race freedom (Theorem 2) and
+    transformation correctness (Theorem 3), with counterexample decoding
+    and concrete replay.
+
+    Every query iterates over pairs of non-call blocks, builds the MSO
+    formula of Section 4 via {!Encode}, and decides it with the tree-
+    automata solver.  A satisfiable formula yields a witness tree whose
+    labels decode into the two conflicting configurations. *)
+
+let src = Logs.Src.create "retreet.analysis" ~doc:"Retreet queries"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Counterexamples                                                     *)
+
+type counterexample = {
+  cx_tree : Treeauto.tree;  (** witness heap shape (leaves are nil nodes) *)
+  cx_q1 : int;  (** current block of the first configuration *)
+  cx_q2 : int;
+  cx_model : Mso.model;
+}
+
+(** The heap corresponding to a witness tree: internal positions become
+    nodes, leaves are the nil positions. *)
+let heap_of_witness (tree : Treeauto.tree) : Heap.tree =
+  let rec go = function
+    | Treeauto.Leaf _ -> Heap.Nil
+    | Treeauto.Node (_, l, r) -> Heap.node (go l) (go r)
+  in
+  go tree
+
+let pp_paths ppf = function
+  | [] -> Fmt.string ppf "-"
+  | ps ->
+    Fmt.(list ~sep:(any " ")
+           (fun ppf p ->
+             if p = [] then Fmt.string ppf "root"
+             else List.iter (fun d -> Fmt.string ppf (if d = 0 then "l" else "r")) p))
+      ppf ps
+
+let pp_counterexample info ppf (cx : counterexample) =
+  let b1 = (Blocks.block info cx.cx_q1).label
+  and b2 = (Blocks.block info cx.cx_q2).label in
+  Fmt.pf ppf "@[<v>conflicting blocks: %s and %s@,tree: %a@,%a@]" b1 b2
+    Treeauto.pp_tree cx.cx_tree
+    Fmt.(list ~sep:cut
+           (fun ppf (v, paths) -> Fmt.pf ppf "  %s -> %a" v pp_paths paths))
+    (List.filter (fun (_, paths) -> paths <> []) cx.cx_model.Mso.assignment)
+
+(* ------------------------------------------------------------------ *)
+(* Data race detection                                                 *)
+
+type race_result =
+  | Race_free
+  | Race of counterexample
+
+let ns_p1 = { Encode.tag = ""; cfg = 1 }
+let ns_p2 = { Encode.tag = ""; cfg = 2 }
+
+(** [DataRace⟦P⟧] (Theorem 2): do two parallel configurations with a data
+    dependence exist?  One solver query per pair of conflicting non-call
+    blocks (the paper's disjunction over [q1, q2]); the compiled
+    subformulas are shared between pairs through the solver cache. *)
+let check_data_race ?(on_pair = fun _ _ -> ()) ?field_sensitive ?prune
+    (info : Blocks.t) : race_result =
+  let enc = Encode.make ?field_sensitive ?prune info in
+  let noncalls = Blocks.all_noncalls info in
+  if Encode.divergence_triples enc Blocks.Par = [] then Race_free
+  else begin
+    let env =
+      ("x1", Mso.FO) :: ("x2", Mso.FO)
+      :: Encode.label_env enc [ ns_p1; ns_p2 ]
+    in
+    let result = ref Race_free in
+    List.iter
+      (fun q1 ->
+        List.iter
+          (fun q2 ->
+            if !result = Race_free && q1 <= q2
+               && Encode.may_conflict enc q1 q2
+            then begin
+              on_pair q1 q2;
+              Log.info (fun m ->
+                  m "data race query for blocks %s, %s"
+                    (Blocks.block info q1).label (Blocks.block info q2).label);
+              let current1 = Some (q1, "x1") and current2 = Some (q2, "x2") in
+              (* one query per parallel-divergence case: the case union is
+                 never materialized (see Encode.parallel_cases); raw [And]
+                 keeps each element a cached subformula and the
+                 configuration products prune the state space first *)
+              let cases =
+                Encode.parallel_cases enc ns_p1 ns_p2 ~current1 ~current2
+              in
+              List.iter
+                (fun case ->
+                  if !result = Race_free then
+                    let f =
+                      Mso.And
+                        [
+                          Encode.configuration enc ns_p1 ~q:q1 ~x:"x1";
+                          Encode.configuration enc ns_p2 ~q:q2 ~x:"x2";
+                          Encode.conflict_access enc ns_p1 ns_p2 ~q1
+                            ~x1:"x1" ~q2 ~x2:"x2";
+                          case;
+                        ]
+                    in
+                    match Mso.solve env f with
+                    | Some model ->
+                      result :=
+                        Race
+                          {
+                            cx_tree = model.tree;
+                            cx_q1 = q1;
+                            cx_q2 = q2;
+                            cx_model = model;
+                          }
+                    | None -> ())
+                cases
+            end)
+          noncalls)
+      noncalls;
+    !result
+  end
+
+(** Replay a race counterexample concretely: build the witness heap and ask
+    the dynamic oracle whether an unordered conflicting pair occurs. *)
+let replay_race (info : Blocks.t) (cx : counterexample) : bool =
+  let heap = heap_of_witness cx.cx_tree in
+  match Interp.run info heap [ 0 ] with
+  | exception _ -> (
+    (* Main may take no Int argument *)
+    match Interp.run info heap [] with
+    | { events; _ } -> Interp.races info events <> []
+    | exception _ -> false)
+  | { events; _ } -> Interp.races info events <> []
+
+(* ------------------------------------------------------------------ *)
+(* Bisimulation (Definition 3)                                         *)
+
+type block_map = (string * string) list
+(** Correspondence from non-call block labels of [P] to labels of [P'].
+    Not necessarily injective: a fused block may play several roles. *)
+
+type bisim_result =
+  | Bisimilar of (int * int) list  (** the call-block relation R *)
+  | Not_bisimilar of string
+
+(* Normalize the symbols of a path-condition atom so that atoms from the
+   two programs are comparable: strip function names from parameters and
+   fields, and replace ghost block ids by block labels. *)
+let normalize_atom (info : Blocks.t) (e : Lia.atom) : Lia.atom =
+  Lin.rename
+    (fun sym ->
+      match String.split_on_char ':' sym with
+      | [ "p"; _fn; p ] -> "p:" ^ p
+      | [ "f"; _fn; path; fld ] -> Printf.sprintf "f:%s:%s" path fld
+      | [ "j"; _fn; x; k ] -> Printf.sprintf "j:%s:%s" x k
+      | [ "r"; id; k ] -> (
+        match int_of_string_opt id with
+        | Some id when id >= 0 && id < Blocks.nblocks info ->
+          Printf.sprintf "r:%s:%s" (Blocks.block info id).label k
+        | _ -> sym)
+      | _ -> sym)
+    e
+
+(* The comparable content of PathCond_{·,t}: the structural step, the nil
+   guard set, the arithmetic guards as source conditions, and their
+   weakest preconditions transported to the frame entry. *)
+let path_cond_signature (info : Blocks.t) (sym : Symexec.t) (t : int) =
+  let b = Blocks.block info t in
+  let step =
+    match b.block with
+    | Ast.Call c -> Some c.target
+    | Ast.Straight _ -> None
+  in
+  let nils =
+    List.filter_map
+      (fun (cid, pol) ->
+        match Symexec.cond_nil sym cid with
+        | Some p -> Some (p, pol)
+        | None -> None)
+      b.guards
+    |> List.sort_uniq compare
+  in
+  let source_conds =
+    List.filter_map
+      (fun (cid, pol) ->
+        match Symexec.cond_nil sym cid with
+        | Some _ -> None
+        | None -> Some ((Blocks.cond info cid).cond, pol))
+      b.guards
+  in
+  let atoms =
+    List.filter_map
+      (fun (cid, pol) ->
+        Option.map (normalize_atom info) (Symexec.cond_atom sym cid ~polarity:pol))
+      b.guards
+  in
+  (step, nils, source_conds, atoms)
+
+(* Arithmetic guards are considered equivalent when the transported
+   weakest preconditions are LIA-equivalent, or — the abstraction level at
+   which the paper pairs conditions — when the source conditions coincide
+   syntactically (the same test at the same polarity, even if earlier
+   writes give it a different entry-relative meaning; the condition labels
+   of the two programs are independent in the Conflict query). *)
+let signatures_equivalent (s1, n1, c1, a1) (s2, n2, c2, a2) =
+  s1 = s2 && n1 = n2 && (c1 = c2 || Lia.equiv a1 a2)
+
+(** One-directional simulation: every configuration of [pa] ending at
+    block [qa] converts to a configuration of [pb] ending at one of the
+    blocks [qbs], over the same nodes.
+
+    Stacks descend in lockstep, so the witness is a relation [R] over
+    pairs of call blocks that can reach the respective current blocks:
+    related calls have equivalent path conditions, every reaching
+    continuation of the [pa] side has a related [pb]-side continuation,
+    and a continuation under whose frame the chain can end has a partner
+    under whose frame it can end too.  [R] is a greatest fixpoint; the
+    simulation holds iff [(main, main)] survives.  Target {e sets} matter:
+    one fused block may play the roles of several original blocks, each
+    covering a different class of configurations.
+
+    (The paper enumerates candidate relations by brute force and checks
+    Definition 3's conditions on them; the fixpoint finds the greatest
+    candidate directly.) *)
+let sim_dir (pa : Blocks.t) (pb : Blocks.t) syma symb (qa : int)
+    (qbs : int list) : (int * int) list option =
+  let main = -1 in
+  let sig_equiv t t' =
+    signatures_equivalent
+      (path_cond_signature pa syma t)
+      (path_cond_signature pb symb t')
+  in
+  if
+    not
+      (List.exists
+         (fun qb ->
+           signatures_equivalent
+             (path_cond_signature pa syma qa)
+             (path_cond_signature pb symb qb))
+         qbs)
+  then None
+  else begin
+    let callee_blocks info t =
+      if t = main then Blocks.blocks_of_func info "Main"
+      else
+        match (Blocks.block info t).block with
+        | Ast.Call c -> Blocks.blocks_of_func info c.callee
+        | Ast.Straight _ -> []
+    in
+    let func_reaches info from_func target =
+      let rec go seen f =
+        f = (Blocks.block info target).bfunc
+        || (not (List.mem f seen))
+           && List.exists (go (f :: seen))
+                (Blocks.blocks_of_func info f
+                |> List.filter_map (fun b ->
+                       match (Blocks.block info b).block with
+                       | Ast.Call c -> Some c.Ast.callee
+                       | Ast.Straight _ -> None))
+      in
+      go [] from_func
+    in
+    (* is a chain through a frame created by [t] able to reach a record of
+       [target]? *)
+    let relevant info t target =
+      if t = main then (Blocks.block info target).bfunc = "Main"
+             || func_reaches info "Main" target
+      else
+        match (Blocks.block info t).block with
+        | Ast.Call c -> func_reaches info c.Ast.callee target
+        | Ast.Straight _ -> false
+    in
+    let relevant_any info t targets =
+      List.exists (relevant info t) targets
+    in
+    let calls_a =
+      main :: List.filter (fun t -> relevant pa t qa) (Blocks.all_calls pa)
+    in
+    let calls_b =
+      main
+      :: List.filter (fun t -> relevant_any pb t qbs) (Blocks.all_calls pb)
+    in
+    let pair_ok t t' = (t = main && t' = main)
+                       || (t <> main && t' <> main && sig_equiv t t') in
+    let initial =
+      List.concat_map
+        (fun t ->
+          List.filter_map
+            (fun t' -> if pair_ok t t' then Some (t, t') else None)
+            calls_b)
+        calls_a
+    in
+    let step_calls info targets t =
+      callee_blocks info t
+      |> List.filter (fun u ->
+             Blocks.is_call info u && relevant_any info u targets)
+    in
+    let last_a u = List.mem qa (callee_blocks pa u) in
+    let last_b u' = List.exists (fun qb -> List.mem qb (callee_blocks pb u')) qbs in
+    let ok r (t, t') =
+      let cs = step_calls pa [ qa ] t and cs' = step_calls pb qbs t' in
+      List.for_all
+        (fun u ->
+          List.exists (fun u' -> List.mem (u, u') r) cs'
+          && ((not (last_a u))
+             || List.exists
+                  (fun u' -> List.mem (u, u') r && last_b u')
+                  cs'))
+        cs
+      && (t <> main
+         || (not (List.mem qa (callee_blocks pa main)))
+         || List.exists (fun qb -> List.mem qb (callee_blocks pb main)) qbs)
+    in
+    let rec prune r =
+      let r2 = List.filter (ok r) r in
+      if List.length r2 = List.length r then r else prune r2
+    in
+    let r = prune initial in
+    if List.mem (main, main) r then Some r else None
+  end
+
+(** Check Definition 3 for a block map: every [P] configuration converts
+    to a [P'] configuration (per mapped block, against its image set) and
+    conversely (per image, against its preimage set). *)
+let check_bisimulation (p : Blocks.t) (p' : Blocks.t) ~(map : block_map) :
+    bisim_result =
+  let sym = Symexec.analyze p and sym' = Symexec.analyze p' in
+  let map_id =
+    List.filter_map
+      (fun (l, l') ->
+        match (Blocks.block_by_label p l, Blocks.block_by_label p' l') with
+        | Some b, Some b' -> Some (b.id, b'.id)
+        | _ -> None)
+      map
+  in
+  if List.length map_id <> List.length map then
+    Not_bisimilar "block map mentions unknown labels"
+  else begin
+    let sources = List.sort_uniq compare (List.map fst map_id) in
+    let images = List.sort_uniq compare (List.map snd map_id) in
+    let image_of q =
+      List.filter_map (fun (a, b) -> if a = q then Some b else None) map_id
+    in
+    let preimage_of q' =
+      List.filter_map (fun (a, b) -> if b = q' then Some a else None) map_id
+    in
+    let relation = ref [] in
+    let forward_failure =
+      List.find_opt
+        (fun q ->
+          match sim_dir p p' sym sym' q (image_of q) with
+          | Some r ->
+            relation := r @ !relation;
+            false
+          | None -> true)
+        sources
+    in
+    match forward_failure with
+    | Some q ->
+      Not_bisimilar
+        (Printf.sprintf "configurations ending at %s have no counterpart"
+           (Blocks.block p q).label)
+    | None -> (
+      let backward_failure =
+        List.find_opt
+          (fun q' -> sim_dir p' p sym' sym q' (preimage_of q') = None)
+          images
+      in
+      match backward_failure with
+      | Some q' ->
+        Not_bisimilar
+          (Printf.sprintf
+             "configurations ending at %s (transformed program) have no \
+              counterpart"
+             (Blocks.block p' q').label)
+      | None -> Bisimilar (List.sort_uniq compare !relation))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence (Theorem 3)                                             *)
+
+type equiv_result =
+  | Equivalent of { relation : (int * int) list }
+  | Not_equivalent of counterexample  (** a dependence is reordered *)
+  | Bisimulation_failed of string
+
+let ns_q1 = { Encode.tag = "'"; cfg = 1 }
+let ns_q2 = { Encode.tag = "'"; cfg = 2 }
+
+(** [Conflict⟦P,P'⟧]: both programs bisimulate and no pair of dependent
+    configurations is scheduled in opposite orders.  [map] aligns the
+    non-call blocks of the two programs. *)
+let check_equivalence ?(on_pair = fun _ _ -> ()) ?field_sensitive ?prune
+    (p : Blocks.t) (p' : Blocks.t) ~(map : block_map) : equiv_result =
+  match check_bisimulation p p' ~map with
+  | Not_bisimilar why -> Bisimulation_failed why
+  | Bisimilar relation -> (
+    let enc = Encode.make ?field_sensitive ?prune p
+    and enc' = Encode.make ?field_sensitive ?prune p' in
+    let map_id =
+      List.filter_map
+        (fun (l, l') ->
+          match (Blocks.block_by_label p l, Blocks.block_by_label p' l') with
+          | Some b, Some b' -> Some (b.id, b'.id)
+          | _ -> None)
+        map
+    in
+    let images q =
+      List.filter_map (fun (a, b) -> if a = q then Some b else None) map_id
+    in
+    let noncalls = Blocks.all_noncalls p in
+    (* One query per dependent block pair, over both programs' label
+       families at once (they share only the tree and the current
+       nodes). *)
+    let flat_env =
+      ("x1", Mso.FO) :: ("x2", Mso.FO)
+      :: (Encode.label_env enc [ ns_p1; ns_p2 ]
+         @ Encode.label_env enc' [ ns_q1; ns_q2 ])
+    in
+    (* the dependence part alone, per program side — a cheap necessary
+       condition used to filter pairs before compiling the (expensive)
+       schedule constraints *)
+    let dep_side enc nsa nsb q1 q2 =
+      Mso.And
+        [
+          Encode.configuration enc nsa ~q:q1 ~x:"x1";
+          Encode.configuration enc nsb ~q:q2 ~x:"x2";
+          Encode.conflict_access enc nsa nsb ~q1 ~x1:"x1" ~q2 ~x2:"x2";
+        ]
+    in
+    let dep_env_p =
+      ("x1", Mso.FO) :: ("x2", Mso.FO) :: Encode.label_env enc [ ns_p1; ns_p2 ]
+    in
+    let dep_env_p' =
+      ("x1", Mso.FO) :: ("x2", Mso.FO)
+      :: Encode.label_env enc' [ ns_q1; ns_q2 ]
+    in
+    let flat_cases q1 q2 q1' q2' =
+      let current1 = Some (q1, "x1") and current2 = Some (q2, "x2") in
+      let current1' = Some (q1', "x1") and current2' = Some (q2', "x2") in
+      (* one query per pair of ordered-divergence cases; the dep_side
+         conjuncts are the exact subformulas the prefilter already
+         compiled, so their automata come from the cache *)
+      let cases_p =
+        Encode.ordered_cases enc ns_p1 ns_p2 ~current1 ~current2
+      in
+      let cases_p' =
+        Encode.ordered_cases enc' ns_q2 ns_q1 ~current1:current2'
+          ~current2:current1'
+      in
+      (* group as (depP ∧ caseP) ∧ (depP' ∧ caseP'): each grouped side is
+         one cached automaton, so the cross product of cases costs one
+         intersection per combination *)
+      List.concat_map
+        (fun cp ->
+          List.map
+            (fun cp' ->
+              Mso.And
+                [
+                  Mso.And [ dep_side enc ns_p1 ns_p2 q1 q2; cp ];
+                  Mso.And [ dep_side enc' ns_q1 ns_q2 q1' q2'; cp' ];
+                ])
+            cases_p')
+        cases_p
+    in
+
+    let result = ref None in
+    List.iter
+      (fun q1 ->
+        List.iter
+          (fun q2 ->
+            if Encode.may_conflict enc q1 q2 then
+              List.iter
+                (fun q1' ->
+                  List.iter
+                    (fun q2' ->
+                      if
+                        !result = None
+                        && Encode.may_conflict enc' q1' q2'
+                        && Mso.satisfiable dep_env_p (dep_side enc ns_p1 ns_p2 q1 q2)
+                        && Mso.satisfiable dep_env_p'
+                             (dep_side enc' ns_q1 ns_q2 q1' q2')
+                      then begin
+                        on_pair q1 q2;
+                        Log.info (fun m ->
+                            m "conflict query for blocks %s, %s"
+                              (Blocks.block p q1).label
+                              (Blocks.block p q2).label);
+                        List.iter
+                          (fun f ->
+                            if !result = None then
+                              match Mso.solve flat_env f with
+                              | Some model ->
+                                result :=
+                                  Some
+                                    {
+                                      cx_tree = model.tree;
+                                      cx_q1 = q1;
+                                      cx_q2 = q2;
+                                      cx_model = model;
+                                    }
+                              | None -> ())
+                          (flat_cases q1 q2 q1' q2')
+                      end)
+                    (images q2))
+                (images q1))
+          noncalls)
+      noncalls;
+    match !result with
+    | Some cx -> Not_equivalent cx
+    | None -> Equivalent { relation })
+
+(** Replay an equivalence counterexample: run both programs on the witness
+    heap and compare results.  The minimal witness only localizes the
+    reordered dependence — the value difference it causes may need more
+    tree around it (or specific field contents) to surface, so the replay
+    escalates: the witness heap itself, then complete trees of growing
+    height with varied field values.  (The MSO encoding is sound but
+    incomplete, so a counterexample may still be spurious; the paper
+    inspected counterexamples manually, we replay them concretely.) *)
+let replay_equivalence (p : Blocks.t) (p' : Blocks.t)
+    (cx : counterexample) : bool =
+  let differs heap = not (Interp.equivalent_on p p' heap []) in
+  differs (heap_of_witness cx.cx_tree)
+  ||
+  let rng = Random.State.make [| 0x5eed |] in
+  let fields =
+    (* common field names across the case studies; unknown fields are
+       simply ignored by the programs *)
+    [ "v"; "value"; "kind"; "prop"; "num"; "swapped" ]
+  in
+  let trials =
+    List.concat_map
+      (fun h ->
+        List.init 4 (fun _ ->
+            Heap.complete_tree ~height:h ~init:(fun _ ->
+                List.map (fun f -> (f, Random.State.int rng 12)) fields)))
+      [ 2; 3; 4 ]
+  in
+  List.exists differs trials

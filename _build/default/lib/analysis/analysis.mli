@@ -1,0 +1,103 @@
+(** Top-level verification queries of the Retreet framework.
+
+    {!check_data_race} decides the paper's [DataRace⟦P⟧] query (Theorem 2)
+    and {!check_equivalence} the [Conflict⟦P,P'⟧] query over a bisimulation
+    witness (Definition 3, Theorem 3).  Both are sound abstractions: a
+    [Race_free] / [Equivalent] verdict is a proof, while counterexamples
+    may in principle be spurious and are therefore replayed concretely
+    with {!replay_race} / {!replay_equivalence} (automating the manual
+    validation the paper performs). *)
+
+(** {1 Counterexamples} *)
+
+type counterexample = {
+  cx_tree : Treeauto.tree;  (** witness heap shape (leaves are nil nodes) *)
+  cx_q1 : int;  (** current block of the first configuration *)
+  cx_q2 : int;  (** current block of the second configuration *)
+  cx_model : Mso.model;  (** full label assignment of the witness *)
+}
+
+val heap_of_witness : Treeauto.tree -> Heap.tree
+(** The concrete heap corresponding to a witness tree: internal positions
+    become nodes, leaves become [nil]. *)
+
+val pp_counterexample :
+  Blocks.t -> Format.formatter -> counterexample -> unit
+
+(** {1 Data-race freedom (Theorem 2)} *)
+
+type race_result =
+  | Race_free  (** proof: no two parallel configurations conflict *)
+  | Race of counterexample
+
+val check_data_race :
+  ?on_pair:(int -> int -> unit) ->
+  ?field_sensitive:bool ->
+  ?prune:bool ->
+  Blocks.t ->
+  race_result
+(** Decide [DataRace⟦P⟧].  [on_pair] is a progress callback invoked with
+    each pair of non-call blocks before its query is solved;
+    [field_sensitive]/[prune] are the {!Encode.make} ablation toggles. *)
+
+val replay_race : Blocks.t -> counterexample -> bool
+(** Build the witness heap, run the program, and ask the dynamic
+    dependence oracle whether an unordered conflicting pair occurs:
+    [true] confirms the counterexample is a true positive. *)
+
+(** {1 Bisimulation (Definition 3)} *)
+
+type block_map = (string * string) list
+(** Correspondence from non-call block labels of [P] to labels of [P'].
+    May be multivalued in both directions (a fused block can play several
+    original roles, and several original blocks can collapse into one).
+    Blocks with no accesses may be omitted. *)
+
+type bisim_result =
+  | Bisimilar of (int * int) list
+      (** a witness relation over call blocks (union over all simulations) *)
+  | Not_bisimilar of string  (** human-readable reason *)
+
+val sim_dir :
+  Blocks.t ->
+  Blocks.t ->
+  Symexec.t ->
+  Symexec.t ->
+  int ->
+  int list ->
+  (int * int) list option
+(** [sim_dir pa pb syma symb qa qbs]: one-directional simulation — every
+    configuration of [pa] ending at block [qa] converts to a configuration
+    of [pb] ending at one of [qbs] over the same nodes.  Returns the
+    greatest witness relation over call blocks, or [None]. *)
+
+val check_bisimulation :
+  Blocks.t -> Blocks.t -> map:block_map -> bisim_result
+(** Check Definition 3 in both directions for every mapped block. *)
+
+(** {1 Equivalence (Theorem 3)} *)
+
+type equiv_result =
+  | Equivalent of { relation : (int * int) list }
+      (** proof, with the bisimulation's call relation *)
+  | Not_equivalent of counterexample
+      (** a dependent pair of configurations is scheduled in opposite
+          orders by the two programs *)
+  | Bisimulation_failed of string
+
+val check_equivalence :
+  ?on_pair:(int -> int -> unit) ->
+  ?field_sensitive:bool ->
+  ?prune:bool ->
+  Blocks.t ->
+  Blocks.t ->
+  map:block_map ->
+  equiv_result
+(** Decide [Conflict⟦P,P'⟧] for two data-race-free programs related by
+    [map].  [on_pair] is a progress callback per dependent block pair. *)
+
+val replay_equivalence : Blocks.t -> Blocks.t -> counterexample -> bool
+(** Run both programs concretely — on the witness heap, then on complete
+    trees of growing height with varied field contents — and report
+    whether any run distinguishes them ([true] = the counterexample is a
+    real behavioural difference). *)

@@ -1,0 +1,1 @@
+lib/arith/lia.ml: Array Fmt Lin List Logs Option Rat String

@@ -1,0 +1,1 @@
+lib/arith/lia.mli: Format Lin

@@ -1,0 +1,1 @@
+lib/arith/lin.ml: Fmt List Map Rat String

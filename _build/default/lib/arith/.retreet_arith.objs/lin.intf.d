@@ -1,0 +1,1 @@
+lib/arith/lin.mli: Format Rat

@@ -1,0 +1,53 @@
+(** Satisfiability of conjunctions of linear integer constraints.
+
+    An {e atom} is a linear expression [e] read as the constraint [e >= 0]
+    over integer-valued variables.  Atoms are closed under negation because
+    over the integers [not (e >= 0)] is [-e - 1 >= 0].
+
+    The decision procedure is the Omega-test core: Fourier–Motzkin
+    elimination with integer tightening, using the real shadow for
+    refutation and the dark shadow for confirmation.  When the two shadows
+    disagree (only possible when both bound coefficients exceed 1, which the
+    Retreet condition systems never produce) a bounded exhaustive search is
+    used; if that is also inconclusive the procedure answers "unsatisfiable"
+    and logs a warning, which keeps race/conflict checking sound. *)
+
+type atom = Lin.t
+(** The constraint [e >= 0]. *)
+
+type conj = atom list
+(** Conjunction of atoms. *)
+
+val ge0 : Lin.t -> atom
+(** [e >= 0]. *)
+
+val gt0 : Lin.t -> atom
+(** [e > 0], i.e. [e - 1 >= 0] over the integers. *)
+
+val le0 : Lin.t -> atom
+
+val lt0 : Lin.t -> atom
+
+val eq0 : Lin.t -> conj
+(** [e = 0] as two atoms. *)
+
+val neg_atom : atom -> atom
+(** Integer-exact negation: [not (e >= 0)] = [-e - 1 >= 0]. *)
+
+val sat : conj -> bool
+(** Integer satisfiability of the conjunction. *)
+
+val sat_dnf : conj list -> bool
+(** Satisfiability of a disjunction of conjunctions. *)
+
+val implies : conj -> atom -> bool
+(** [implies hyp a]: does [hyp] entail [a] over the integers? *)
+
+val implies_conj : conj -> conj -> bool
+
+val equiv : conj -> conj -> bool
+(** Mutual entailment. *)
+
+val pp_atom : Format.formatter -> atom -> unit
+
+val pp_conj : Format.formatter -> conj -> unit

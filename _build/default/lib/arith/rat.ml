@@ -1,0 +1,47 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd (abs num) den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero;
+  make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+let abs a = { a with num = Stdlib.abs a.num }
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let compare a b = Int.compare (a.num * b.den) (b.num * a.den)
+let equal a b = a.num = b.num && a.den = b.den
+let sign a = Int.compare a.num 0
+let is_integer a = a.den = 1
+
+let floor a =
+  if a.num >= 0 then a.num / a.den
+  else -(((-a.num) + a.den - 1) / a.den)
+
+let ceil a = -floor (neg a)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let pp ppf a =
+  if a.den = 1 then Fmt.int ppf a.num else Fmt.pf ppf "%d/%d" a.num a.den

@@ -1,0 +1,1 @@
+lib/bdd/mtbdd.ml: Bdd Fmt Hashtbl Int List

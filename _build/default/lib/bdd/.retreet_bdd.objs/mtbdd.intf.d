@@ -1,0 +1,1 @@
+lib/bdd/mtbdd.mli: Bdd Format

@@ -1,0 +1,255 @@
+(* Hash-consed ROBDDs.  The unique table maps (var, lo.id, hi.id) to the
+   canonical node; the reduction rule [lo == hi -> lo] is applied at
+   construction, so [==] on [t] is semantic equality. *)
+
+type var = int
+
+type t =
+  | False
+  | True
+  | Node of { id : int; v : var; lo : t; hi : t }
+
+let id = function False -> 0 | True -> 1 | Node { id; _ } -> id
+
+let equal a b = a == b
+let hash t = id t
+let compare a b = Int.compare (id a) (id b)
+
+let bot = False
+let top = True
+let is_bot t = t == False
+let is_top t = t == True
+
+(* Unique table. *)
+module Key = struct
+  type nonrec t = var * int * int
+
+  let equal (v1, l1, h1) (v2, l2, h2) = v1 = v2 && l1 = l2 && h1 = h2
+  let hash (v, l, h) = (v * 0x9e3779b1) lxor (l * 613) lxor (h * 2909)
+end
+
+module Unique = Hashtbl.Make (Key)
+
+let unique : t Unique.t = Unique.create 65536
+let next_id = ref 2
+
+let mk v lo hi =
+  if lo == hi then lo
+  else
+    let key = (v, id lo, id hi) in
+    match Unique.find_opt unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = !next_id; v; lo; hi } in
+      incr next_id;
+      Unique.add unique key n;
+      n
+
+let var v =
+  if v < 0 then invalid_arg "Bdd.var: negative variable";
+  mk v False True
+
+let nvar v =
+  if v < 0 then invalid_arg "Bdd.nvar: negative variable";
+  mk v True False
+
+(* Memo tables for the binary operations.  Keys are id pairs; tables are
+   global and grow monotonically, which is acceptable for the formula sizes
+   this library targets (queries allocate a few hundred thousand nodes). *)
+module Pair = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 0x9e3779b1) lxor b
+end
+
+module Memo2 = Hashtbl.Make (Pair)
+
+let top_var a b =
+  match (a, b) with
+  | Node { v = va; _ }, Node { v = vb; _ } -> min va vb
+  | Node { v; _ }, _ | _, Node { v; _ } -> v
+  | _ -> invalid_arg "Bdd.top_var: both constants"
+
+let cofactors v t =
+  match t with
+  | Node { v = v'; lo; hi; _ } when v' = v -> (lo, hi)
+  | _ -> (t, t)
+
+let neg_memo : t Memo2.t = Memo2.create 4096
+
+let rec neg t =
+  match t with
+  | False -> True
+  | True -> False
+  | Node { id = i; v; lo; hi } -> (
+    let key = (i, i) in
+    match Memo2.find_opt neg_memo key with
+    | Some r -> r
+    | None ->
+      let r = mk v (neg lo) (neg hi) in
+      Memo2.add neg_memo key r;
+      r)
+
+let apply_cache : t Memo2.t Memo2.t = Memo2.create 8
+
+(* A fresh memo table per operation identity.  Operations are identified by a
+   small integer tag rather than closure identity. *)
+let op_table tag =
+  match Memo2.find_opt apply_cache (tag, tag) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Memo2.create 4096 in
+    Memo2.add apply_cache (tag, tag) tbl;
+    tbl
+
+let rec apply tag f a b =
+  match f a b with
+  | Some r -> r
+  | None -> (
+    let tbl = op_table tag in
+    let key = (id a, id b) in
+    match Memo2.find_opt tbl key with
+    | Some r -> r
+    | None ->
+      let v = top_var a b in
+      let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
+      let r = mk v (apply tag f a0 b0) (apply tag f a1 b1) in
+      Memo2.add tbl key r;
+      r)
+
+let conj =
+  apply 1 (fun a b ->
+      if a == False || b == False then Some False
+      else if a == True then Some b
+      else if b == True then Some a
+      else if a == b then Some a
+      else None)
+
+let disj =
+  apply 2 (fun a b ->
+      if a == True || b == True then Some True
+      else if a == False then Some b
+      else if b == False then Some a
+      else if a == b then Some a
+      else None)
+
+let xor =
+  apply 3 (fun a b ->
+      if a == False then Some b
+      else if b == False then Some a
+      else if a == True then Some (neg b)
+      else if b == True then Some (neg a)
+      else if a == b then Some False
+      else None)
+
+let imp a b = disj (neg a) b
+let iff a b = neg (xor a b)
+let ite c a b = disj (conj c a) (conj (neg c) b)
+let conj_list l = List.fold_left conj top l
+let disj_list l = List.fold_left disj bot l
+
+let rec restrict t v b =
+  match t with
+  | False | True -> t
+  | Node { v = v'; lo; hi; _ } ->
+    if v' > v then t
+    else if v' = v then if b then hi else lo
+    else mk v' (restrict lo v b) (restrict hi v b)
+
+let exists v t = disj (restrict t v false) (restrict t v true)
+let forall v t = conj (restrict t v false) (restrict t v true)
+
+let rec rename r t =
+  match t with
+  | False | True -> t
+  | Node { v; lo; hi; _ } ->
+    let v' = r v in
+    let lo' = rename r lo and hi' = rename r hi in
+    (* The renaming must keep the new variable above both sub-diagrams. *)
+    let check = function
+      | Node { v = w; _ } -> assert (v' < w)
+      | _ -> ()
+    in
+    check lo';
+    check hi';
+    mk v' lo' hi'
+
+let rec eval rho t =
+  match t with
+  | False -> false
+  | True -> true
+  | Node { v; lo; hi; _ } -> if rho v then eval rho hi else eval rho lo
+
+let support t =
+  let seen = Hashtbl.create 16 in
+  let vars = ref [] in
+  let rec go t =
+    match t with
+    | False | True -> ()
+    | Node { id; v; lo; hi } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        if not (List.mem v !vars) then vars := v :: !vars;
+        go lo;
+        go hi
+      end
+  in
+  go t;
+  List.sort Int.compare !vars
+
+let any_sat t =
+  let rec go acc = function
+    | False -> None
+    | True -> Some (List.rev acc)
+    | Node { v; lo; hi; _ } -> (
+      match go ((v, true) :: acc) hi with
+      | Some _ as r -> r
+      | None -> go ((v, false) :: acc) lo)
+  in
+  go [] t
+
+let sat_count ~nvars t =
+  (* Count via the standard weighted traversal: a node at level [v] whose
+     child sits at level [w] hides [w - v - 1] free variables. *)
+  let memo = Hashtbl.create 64 in
+  let level = function False | True -> nvars | Node { v; _ } -> v in
+  let rec count t =
+    match t with
+    | False -> 0.
+    | True -> 1.
+    | Node { id; v; lo; hi } -> (
+      match Hashtbl.find_opt memo id with
+      | Some c -> c
+      | None ->
+        let scale child =
+          count child *. (2. ** float_of_int (level child - v - 1))
+        in
+        let c = scale lo +. scale hi in
+        Hashtbl.add memo id c;
+        c)
+  in
+  count t *. (2. ** float_of_int (level t))
+
+let size t =
+  let seen = Hashtbl.create 16 in
+  let n = ref 0 in
+  let rec go = function
+    | False | True -> ()
+    | Node { id; lo; hi; _ } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        incr n;
+        go lo;
+        go hi
+      end
+  in
+  go t;
+  !n
+
+let rec pp ppf t =
+  match t with
+  | False -> Fmt.string ppf "false"
+  | True -> Fmt.string ppf "true"
+  | Node { v; lo; hi; _ } ->
+    Fmt.pf ppf "@[<hv 2>(x%d ?@ %a :@ %a)@]" v pp hi pp lo

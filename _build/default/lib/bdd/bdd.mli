@@ -1,0 +1,93 @@
+(** Reduced ordered binary decision diagrams (ROBDDs).
+
+    Variables are non-negative integers ordered by their numeric value: the
+    smaller the index, the closer to the root.  All diagrams are hash-consed
+    into a single global table, so structural equality ([==]) coincides with
+    semantic equality of boolean functions.
+
+    This module backs the transition guards of the tree automata in
+    {!Treeauto}: an alphabet symbol is a bit vector assigning one boolean per
+    track, and a guard is a BDD over track indices. *)
+
+type t
+(** A boolean function over integer-indexed variables. *)
+
+type var = int
+(** Variable (track) index.  Must be [>= 0]. *)
+
+val bot : t
+(** The constant [false]. *)
+
+val top : t
+(** The constant [true]. *)
+
+val var : var -> t
+(** [var i] is the function returning the value of variable [i]. *)
+
+val nvar : var -> t
+(** [nvar i] is [neg (var i)]. *)
+
+val neg : t -> t
+
+val conj : t -> t -> t
+
+val disj : t -> t -> t
+
+val xor : t -> t -> t
+
+val imp : t -> t -> t
+
+val iff : t -> t -> t
+
+val ite : t -> t -> t -> t
+(** [ite c a b] is [if c then a else b], i.e. [(c ∧ a) ∨ (¬c ∧ b)]. *)
+
+val conj_list : t list -> t
+
+val disj_list : t list -> t
+
+val equal : t -> t -> bool
+(** Constant-time semantic equality (hash-consing). *)
+
+val compare : t -> t -> int
+(** Arbitrary total order, compatible with {!equal}. *)
+
+val hash : t -> int
+
+val is_bot : t -> bool
+
+val is_top : t -> bool
+
+val restrict : t -> var -> bool -> t
+(** [restrict f i b] is the cofactor of [f] with variable [i] set to [b]. *)
+
+val exists : var -> t -> t
+(** [exists i f] is [restrict f i false ∨ restrict f i true]. *)
+
+val forall : var -> t -> t
+
+val rename : (var -> var) -> t -> t
+(** [rename r f] substitutes variable [r i] for each variable [i].  The
+    mapping must be strictly monotone on the support of [f] (it preserves the
+    variable order), which is checked with an assertion. *)
+
+val eval : (var -> bool) -> t -> bool
+(** Evaluate under a valuation. *)
+
+val support : t -> var list
+(** The variables the function actually depends on, ascending. *)
+
+val any_sat : t -> (var * bool) list option
+(** Some satisfying partial assignment (only variables on one root-to-[top]
+    path are listed; unlisted variables are don't-care), or [None] if the
+    function is [bot]. *)
+
+val sat_count : nvars:int -> t -> float
+(** Number of satisfying assignments over the variable universe
+    [0 .. nvars-1]. *)
+
+val size : t -> int
+(** Number of internal nodes of the diagram. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (if-then-else normal form, indented). *)

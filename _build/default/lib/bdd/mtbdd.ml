@@ -1,0 +1,297 @@
+(* Hash-consed MTBDDs with int terminals; same ordering discipline as Bdd. *)
+
+type var = int
+
+type t =
+  | Leaf of { id : int; value : int }
+  | Node of { id : int; v : var; lo : t; hi : t }
+
+let id = function Leaf { id; _ } -> id | Node { id; _ } -> id
+
+let equal a b = a == b
+let hash t = id t
+let compare a b = Int.compare (id a) (id b)
+
+module NodeKey = struct
+  type t = var * int * int
+
+  let equal (v1, l1, h1) (v2, l2, h2) = v1 = v2 && l1 = l2 && h1 = h2
+  let hash (v, l, h) = (v * 0x9e3779b1) lxor (l * 613) lxor (h * 2909)
+end
+
+module NodeTbl = Hashtbl.Make (NodeKey)
+
+let node_tbl : t NodeTbl.t = NodeTbl.create 65536
+let leaf_tbl : (int, t) Hashtbl.t = Hashtbl.create 256
+let next_id = ref 0
+
+let const value =
+  match Hashtbl.find_opt leaf_tbl value with
+  | Some l -> l
+  | None ->
+    let l = Leaf { id = !next_id; value } in
+    incr next_id;
+    Hashtbl.add leaf_tbl value l;
+    l
+
+let mk v lo hi =
+  if lo == hi then lo
+  else
+    let key = (v, id lo, id hi) in
+    match NodeTbl.find_opt node_tbl key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = !next_id; v; lo; hi } in
+      incr next_id;
+      NodeTbl.add node_tbl key n;
+      n
+
+module Pair = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 0x9e3779b1) lxor b
+end
+
+module Memo2 = Hashtbl.Make (Pair)
+
+let level = function
+  | Leaf _ -> max_int
+  | Node { v; _ } -> v
+
+let cofactors v t =
+  match t with
+  | Node { v = v'; lo; hi; _ } when v' = v -> (lo, hi)
+  | _ -> (t, t)
+
+(* ite with a Bdd guard. *)
+let ite_memo : t Memo2.t Memo2.t = Memo2.create 64
+
+let ite g a b =
+  let rec go g a b =
+    if a == b then a
+    else if Bdd.is_top g then a
+    else if Bdd.is_bot g then b
+    else begin
+      let tbl =
+        match Memo2.find_opt ite_memo (Bdd.hash g, Bdd.hash g) with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Memo2.create 64 in
+          Memo2.add ite_memo (Bdd.hash g, Bdd.hash g) tbl;
+          tbl
+      in
+      let key = (id a, id b) in
+      match Memo2.find_opt tbl key with
+      | Some r -> r
+      | None ->
+        let gv =
+          match Bdd.support g with
+          | v :: _ -> v
+          | [] -> assert false
+        in
+        let v = min gv (min (level a) (level b)) in
+        let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
+        let g0 = Bdd.restrict g v false and g1 = Bdd.restrict g v true in
+        let r = mk v (go g0 a0 b0) (go g1 a1 b1) in
+        Memo2.add tbl key r;
+        r
+    end
+  in
+  go g a b
+
+let op_tables : t Memo2.t Memo2.t = Memo2.create 8
+
+let op_table tag =
+  match Memo2.find_opt op_tables (tag, tag) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Memo2.create 4096 in
+    Memo2.add op_tables (tag, tag) tbl;
+    tbl
+
+let apply2 ~tag f a b =
+  let tbl = op_table tag in
+  let rec go a b =
+    match (a, b) with
+    | Leaf { value = x; _ }, Leaf { value = y; _ } -> const (f x y)
+    | _ -> (
+      let key = (id a, id b) in
+      match Memo2.find_opt tbl key with
+      | Some r -> r
+      | None ->
+        let v = min (level a) (level b) in
+        let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
+        let r = mk v (go a0 b0) (go a1 b1) in
+        Memo2.add tbl key r;
+        r)
+  in
+  go a b
+
+let map ~tag f t =
+  let tbl = op_table (tag lxor 0x55555555) in
+  let rec go t =
+    match t with
+    | Leaf { value; _ } -> const (f value)
+    | Node { id = i; v; lo; hi } -> (
+      match Memo2.find_opt tbl (i, i) with
+      | Some r -> r
+      | None ->
+        let r = mk v (go lo) (go hi) in
+        Memo2.add tbl (i, i) r;
+        r)
+  in
+  go t
+
+let apply2_nocache f a b =
+  let tbl = Hashtbl.create 64 in
+  let rec go a b =
+    match (a, b) with
+    | Leaf { value = x; _ }, Leaf { value = y; _ } -> const (f x y)
+    | _ -> (
+      let key = (id a, id b) in
+      match Hashtbl.find_opt tbl key with
+      | Some r -> r
+      | None ->
+        let v = min (level a) (level b) in
+        let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
+        let r = mk v (go a0 b0) (go a1 b1) in
+        Hashtbl.add tbl key r;
+        r)
+  in
+  go a b
+
+let combiner f =
+  let tbl = Hashtbl.create 4096 in
+  let rec go a b =
+    match (a, b) with
+    | Leaf { value = x; _ }, Leaf { value = y; _ } -> const (f x y)
+    | _ -> (
+      let key = (id a, id b) in
+      match Hashtbl.find_opt tbl key with
+      | Some r -> r
+      | None ->
+        let v = min (level a) (level b) in
+        let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
+        let r = mk v (go a0 b0) (go a1 b1) in
+        Hashtbl.add tbl key r;
+        r)
+  in
+  go
+
+let map_nocache f t =
+  let tbl = Hashtbl.create 64 in
+  let rec go t =
+    match t with
+    | Leaf { value; _ } -> const (f value)
+    | Node { id = i; v; lo; hi } -> (
+      match Hashtbl.find_opt tbl i with
+      | Some r -> r
+      | None ->
+        let r = mk v (go lo) (go hi) in
+        Hashtbl.add tbl i r;
+        r)
+  in
+  go t
+
+let rec eval rho t =
+  match t with
+  | Leaf { value; _ } -> value
+  | Node { v; lo; hi; _ } -> if rho v then eval rho hi else eval rho lo
+
+let terminals t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go t =
+    match t with
+    | Leaf { id; value } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        acc := value :: !acc
+      end
+    | Node { id; lo; hi; _ } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        go lo;
+        go hi
+      end
+  in
+  go t;
+  List.sort_uniq Int.compare !acc
+
+let guard_of t k =
+  let tbl = Hashtbl.create 64 in
+  let rec go t =
+    match t with
+    | Leaf { value; _ } -> if value = k then Bdd.top else Bdd.bot
+    | Node { id; v; lo; hi } -> (
+      match Hashtbl.find_opt tbl id with
+      | Some g -> g
+      | None ->
+        let g =
+          Bdd.disj
+            (Bdd.conj (Bdd.nvar v) (go lo))
+            (Bdd.conj (Bdd.var v) (go hi))
+        in
+        Hashtbl.add tbl id g;
+        g)
+  in
+  go t
+
+let find_terminal t k =
+  let rec go acc t =
+    match t with
+    | Leaf { value; _ } -> if value = k then Some (List.rev acc) else None
+    | Node { v; lo; hi; _ } -> (
+      match go ((v, false) :: acc) lo with
+      | Some _ as r -> r
+      | None -> go ((v, true) :: acc) hi)
+  in
+  go [] t
+
+let rec restrict t v b =
+  match t with
+  | Leaf _ -> t
+  | Node { v = v'; lo; hi; _ } ->
+    if v' > v then t
+    else if v' = v then if b then hi else lo
+    else mk v' (restrict lo v b) (restrict hi v b)
+
+let support t =
+  let seen = Hashtbl.create 16 in
+  let vars = ref [] in
+  let rec go t =
+    match t with
+    | Leaf _ -> ()
+    | Node { id; v; lo; hi } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        if not (List.mem v !vars) then vars := v :: !vars;
+        go lo;
+        go hi
+      end
+  in
+  go t;
+  List.sort Int.compare !vars
+
+let size t =
+  let seen = Hashtbl.create 16 in
+  let n = ref 0 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node { id; lo; hi; _ } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        incr n;
+        go lo;
+        go hi
+      end
+  in
+  go t;
+  !n
+
+let rec pp ppf t =
+  match t with
+  | Leaf { value; _ } -> Fmt.int ppf value
+  | Node { v; lo; hi; _ } ->
+    Fmt.pf ppf "@[<hv 2>(x%d ?@ %a :@ %a)@]" v pp hi pp lo

@@ -1,0 +1,65 @@
+(** Multi-terminal BDDs with integer terminals.
+
+    An MTBDD represents a total function from bit-vector valuations to
+    integers.  In {!Treeauto} the integers are automaton state identifiers
+    (or identifiers of state {e sets} during subset construction).  Variables
+    share the global ordering of {!Bdd} and diagrams are hash-consed, so
+    [==] is semantic equality. *)
+
+type t
+
+type var = int
+
+val const : int -> t
+(** The constant function. *)
+
+val ite : Bdd.t -> t -> t -> t
+(** [ite g a b] returns [a] where the guard holds and [b] elsewhere. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val eval : (var -> bool) -> t -> int
+(** Value of the function at a valuation. *)
+
+val apply2 : tag:int -> (int -> int -> int) -> t -> t -> t
+(** [apply2 ~tag f a b] combines pointwise with [f].  [tag] identifies the
+    operation for memoization and must be used consistently: two calls with
+    the same [tag] must pass (extensionally) the same [f]. *)
+
+val map : tag:int -> (int -> int) -> t -> t
+(** Pointwise image.  Same [tag] discipline as {!apply2}. *)
+
+val map_nocache : (int -> int) -> t -> t
+(** Pointwise image without cross-call memoization (safe for closures whose
+    behaviour differs between calls). *)
+
+val apply2_nocache : (int -> int -> int) -> t -> t -> t
+(** Pointwise combination without cross-call memoization. *)
+
+val combiner : (int -> int -> int) -> t -> t -> t
+(** [combiner f] returns a combining function backed by a single memo table
+    shared across all its invocations.  Use one combiner per logical
+    operation (e.g. one automaton product) so repeated diagram pairs are
+    combined once. *)
+
+val terminals : t -> int list
+(** All terminal values occurring in the diagram, ascending, no duplicates. *)
+
+val guard_of : t -> int -> Bdd.t
+(** [guard_of m k] is the boolean function "[m] evaluates to [k]". *)
+
+val find_terminal : t -> int -> (var * bool) list option
+(** A partial valuation leading to the given terminal, if it occurs.
+    Unlisted variables are don't-care. *)
+
+val restrict : t -> var -> bool -> t
+
+val support : t -> var list
+
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/csstree/css_ast.ml: Float Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/csstree/css_lcrs.ml: Css_ast Fmt Heap List String

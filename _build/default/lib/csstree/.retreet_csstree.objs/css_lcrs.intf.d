@@ -1,0 +1,1 @@
+lib/csstree/css_lcrs.mli: Css_ast Heap

@@ -1,0 +1,1 @@
+lib/csstree/css_minify.ml: Css_ast Float Fmt List String

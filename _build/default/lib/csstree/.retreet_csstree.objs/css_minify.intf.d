@@ -1,0 +1,1 @@
+lib/csstree/css_minify.mli: Css_ast

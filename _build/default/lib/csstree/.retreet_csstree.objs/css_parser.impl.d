@@ -1,0 +1,1 @@
+lib/csstree/css_parser.ml: Css_ast Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/csstree/css_parser.mli: Css_ast

@@ -1,0 +1,101 @@
+(** A small CSS object model: enough of the language to exercise the
+    minification traversals of the paper's Figure 8 on real input.
+
+    A stylesheet is a list of rules; a rule has a selector and a list of
+    declarations; a declaration value is a sequence of components
+    (dimensions, keywords, functions...).  The model is deliberately
+    lossless for the subset it covers, so minification is measurable as a
+    byte-count reduction of the serialized form. *)
+
+type component =
+  | Dim of float * string  (** [100ms], [.5em], [0] (unit "") *)
+  | Keyword of string  (** [normal], [initial], [red], ... *)
+  | Str of string  (** a quoted string, quotes included *)
+  | Func of string * component list  (** [calc(...)], [rgb(...)] *)
+
+type declaration = {
+  property : string;
+  value : component list;
+  important : bool;
+}
+
+type rule = { selector : string; declarations : declaration list }
+
+type stylesheet = rule list
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let string_of_float_css f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%d" (int_of_float f)
+  else begin
+    (* drop the leading 0 of a fraction, as minifiers do: 0.5 -> .5 *)
+    let s = Printf.sprintf "%.6g" f in
+    if String.length s > 1 && s.[0] = '0' && s.[1] = '.' then
+      String.sub s 1 (String.length s - 1)
+    else if String.length s > 2 && s.[0] = '-' && s.[1] = '0' && s.[2] = '.'
+    then "-" ^ String.sub s 2 (String.length s - 2)
+    else s
+  end
+
+let rec pp_component ppf = function
+  | Dim (v, u) -> Fmt.pf ppf "%s%s" (string_of_float_css v) u
+  | Keyword k -> Fmt.string ppf k
+  | Str s -> Fmt.string ppf s
+  | Func (name, args) ->
+    Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ",") pp_component) args
+
+let pp_value = Fmt.(list ~sep:(any " ") pp_component)
+
+let pp_declaration ppf (d : declaration) =
+  Fmt.pf ppf "%s:%a%s" d.property pp_value d.value
+    (if d.important then "!important" else "")
+
+let pp_rule ppf (r : rule) =
+  Fmt.pf ppf "%s{%a}" r.selector
+    Fmt.(list ~sep:(any ";") pp_declaration)
+    r.declarations
+
+(** Minified serialization (no spaces beyond those required). *)
+let to_string (s : stylesheet) : string =
+  Fmt.str "%a" Fmt.(list ~sep:nop pp_rule) s
+
+(** Human-readable serialization. *)
+let to_pretty_string (s : stylesheet) : string =
+  let rule ppf (r : rule) =
+    Fmt.pf ppf "%s {@;<0 2>@[<v>%a@]@,}" r.selector
+      Fmt.(list ~sep:cut (fun ppf d -> Fmt.pf ppf "%a;" pp_declaration d))
+      r.declarations
+  in
+  Fmt.str "@[<v>%a@]" Fmt.(list ~sep:cut rule) s
+
+let size_bytes s = String.length (to_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Structural helpers                                                  *)
+
+let rec equal_component a b =
+  match (a, b) with
+  | Dim (v1, u1), Dim (v2, u2) -> Float.equal v1 v2 && u1 = u2
+  | Keyword a, Keyword b | Str a, Str b -> a = b
+  | Func (n1, a1), Func (n2, a2) ->
+    n1 = n2
+    && List.length a1 = List.length a2
+    && List.for_all2 equal_component a1 a2
+  | _ -> false
+
+let equal_stylesheet (a : stylesheet) (b : stylesheet) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (r1 : rule) (r2 : rule) ->
+         r1.selector = r2.selector
+         && List.length r1.declarations = List.length r2.declarations
+         && List.for_all2
+              (fun d1 d2 ->
+                d1.property = d2.property
+                && d1.important = d2.important
+                && List.length d1.value = List.length d2.value
+                && List.for_all2 equal_component d1.value d2.value)
+              r1.declarations r2.declarations)
+       a b

@@ -1,0 +1,125 @@
+(** The three minification passes of the paper's Figure 8, as executable
+    transformations on the CSS object model.
+
+    - [convert_values]: rewrite dimensions into shorter equivalent units
+      ([100ms] → [.1s], [0px] → [0]) — the paper's {e ConvertValues};
+    - [minify_font]: rewrite [font-weight: normal/bold] into [400]/[700] —
+      {e MinifyFont};
+    - [reduce_init]: replace [initial] by the concrete initial value when
+      that is shorter ([min-width: initial] → [min-width: 0]) —
+      {e ReduceInit}.
+
+    Each pass is a full traversal of the stylesheet tree; [minify] runs
+    them in the paper's pass order.  The fused single traversal
+    [minify_fused] applies the three rewrites per declaration in one pass —
+    the transformation whose correctness the Retreet framework proves on
+    the traversal skeletons. *)
+
+(* --- ConvertValues --- *)
+
+let shorter a b = String.length a <= String.length b
+
+let convert_dim (v, u) : float * string =
+  match u with
+  | "ms" when Float.is_integer (v /. 100.) -> (v /. 1000., "s")
+  | "s" when not (Float.is_integer (v *. 10.)) -> (v *. 1000., "ms")
+  | _ when v = 0. && u <> "" && u <> "%" && u <> "s" && u <> "ms" -> (0., "")
+  | _ -> (v, u)
+
+let rec convert_component (c : Css_ast.component) : Css_ast.component =
+  match c with
+  | Css_ast.Dim (v, u) ->
+    let v', u' = convert_dim (v, u) in
+    let old = Css_ast.Dim (v, u) and candidate = Css_ast.Dim (v', u') in
+    let render x = Fmt.str "%a" Css_ast.pp_component x in
+    if shorter (render candidate) (render old) then candidate else old
+  | Css_ast.Func (name, args) ->
+    Css_ast.Func (name, List.map convert_component args)
+  | Css_ast.Keyword _ | Css_ast.Str _ -> c
+
+let convert_values (sheet : Css_ast.stylesheet) : Css_ast.stylesheet =
+  List.map
+    (fun (r : Css_ast.rule) ->
+      {
+        r with
+        declarations =
+          List.map
+            (fun (d : Css_ast.declaration) ->
+              { d with value = List.map convert_component d.value })
+            r.declarations;
+      })
+    sheet
+
+(* --- MinifyFont --- *)
+
+let minify_font_decl (d : Css_ast.declaration) : Css_ast.declaration =
+  if d.property = "font-weight" then
+    {
+      d with
+      value =
+        List.map
+          (function
+            | Css_ast.Keyword "normal" -> Css_ast.Dim (400., "")
+            | Css_ast.Keyword "bold" -> Css_ast.Dim (700., "")
+            | c -> c)
+          d.value;
+    }
+  else d
+
+let minify_font (sheet : Css_ast.stylesheet) : Css_ast.stylesheet =
+  List.map
+    (fun (r : Css_ast.rule) ->
+      { r with declarations = List.map minify_font_decl r.declarations })
+    sheet
+
+(* --- ReduceInit --- *)
+
+(* Initial values shorter than the keyword "initial". *)
+let initial_values =
+  [
+    ("min-width", Css_ast.Dim (0., ""));
+    ("min-height", Css_ast.Dim (0., ""));
+    ("margin", Css_ast.Dim (0., ""));
+    ("padding", Css_ast.Dim (0., ""));
+    ("border-width", Css_ast.Keyword "medium");
+    ("background-color", Css_ast.Keyword "#0000");
+    ("opacity", Css_ast.Dim (1., ""));
+    ("z-index", Css_ast.Keyword "auto");
+  ]
+
+let reduce_init_decl (d : Css_ast.declaration) : Css_ast.declaration =
+  match (d.value, List.assoc_opt d.property initial_values) with
+  | [ Css_ast.Keyword "initial" ], Some shorter_value ->
+    let render c = Fmt.str "%a" Css_ast.pp_component c in
+    if shorter (render shorter_value) "initial" then
+      { d with value = [ shorter_value ] }
+    else d
+  | _ -> d
+
+let reduce_init (sheet : Css_ast.stylesheet) : Css_ast.stylesheet =
+  List.map
+    (fun (r : Css_ast.rule) ->
+      { r with declarations = List.map reduce_init_decl r.declarations })
+    sheet
+
+(* --- combined --- *)
+
+(** The sequential pipeline, in the paper's pass order. *)
+let minify (sheet : Css_ast.stylesheet) : Css_ast.stylesheet =
+  reduce_init (minify_font (convert_values sheet))
+
+(** The fused single pass: the three rewrites applied per declaration. *)
+let minify_fused (sheet : Css_ast.stylesheet) : Css_ast.stylesheet =
+  List.map
+    (fun (r : Css_ast.rule) ->
+      {
+        r with
+        declarations =
+          List.map
+            (fun (d : Css_ast.declaration) ->
+              reduce_init_decl
+                (minify_font_decl
+                   { d with value = List.map convert_component d.value }))
+            r.declarations;
+      })
+    sheet

@@ -1,0 +1,182 @@
+(** A pragmatic CSS parser for the subset modelled by {!Css_ast}:
+    rules ([selector { decl; ... }]), declarations ([prop: value]),
+    dimensions, keywords, strings, functions and [!important].  Comments
+    ([/* ... */]) are skipped.  At-rules and nested blocks are out of
+    scope and rejected with an error. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '*'
+    ->
+    let close = ref None in
+    let i = ref (st.pos + 2) in
+    while !close = None && !i + 1 < String.length st.src do
+      if st.src.[!i] = '*' && st.src.[!i + 1] = '/' then close := Some (!i + 2);
+      incr i
+    done;
+    (match !close with
+    | Some j -> st.pos <- j
+    | None -> error "unterminated comment");
+    skip_ws st
+  | _ -> ()
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '%' || c = '#' || c = '.'
+
+let take_while st pred =
+  let start = st.pos in
+  let n = String.length st.src in
+  while st.pos < n && pred st.src.[st.pos] do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let is_digit c = (c >= '0' && c <= '9') || c = '.'
+
+(* A value component: number+unit, quoted string, function, or keyword. *)
+let rec parse_component st : Css_ast.component =
+  skip_ws st;
+  match peek st with
+  | Some c when c = '"' || c = '\'' ->
+    let quote = c in
+    advance st;
+    let body = take_while st (fun ch -> ch <> quote) in
+    (match peek st with
+    | Some q when q = quote -> advance st
+    | _ -> error "unterminated string");
+    Css_ast.Str (Printf.sprintf "%c%s%c" quote body quote)
+  | Some c when is_digit c || c = '-' ->
+    let start = st.pos in
+    if c = '-' then advance st;
+    let num = take_while st is_digit in
+    if num = "" then begin
+      st.pos <- start;
+      parse_keyword_or_func st
+    end
+    else begin
+      let v =
+        float_of_string (String.sub st.src start (st.pos - start))
+      in
+      let unit =
+        take_while st (fun ch ->
+            (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '%')
+      in
+      Css_ast.Dim (v, unit)
+    end
+  | Some _ -> parse_keyword_or_func st
+  | None -> error "expected a value component"
+
+and parse_keyword_or_func st : Css_ast.component =
+  let word = take_while st is_ident_char in
+  if word = "" then error "bad value at offset %d" st.pos
+  else if peek st = Some '(' then begin
+    advance st;
+    let args = ref [] in
+    skip_ws st;
+    if peek st <> Some ')' then begin
+      args := [ parse_component st ];
+      skip_ws st;
+      while peek st = Some ',' do
+        advance st;
+        args := parse_component st :: !args;
+        skip_ws st
+      done
+    end;
+    (match peek st with
+    | Some ')' -> advance st
+    | _ -> error "expected ')' in %s(...)" word);
+    Css_ast.Func (word, List.rev !args)
+  end
+  else Css_ast.Keyword word
+
+let parse_value st : Css_ast.component list * bool =
+  let comps = ref [] and important = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    skip_ws st;
+    match peek st with
+    | Some (';' | '}') | None -> continue_ := false
+    | Some '!' ->
+      advance st;
+      skip_ws st;
+      let word = take_while st is_ident_char in
+      if String.lowercase_ascii word <> "important" then
+        error "expected !important";
+      important := true
+    | Some _ -> comps := parse_component st :: !comps
+  done;
+  (List.rev !comps, !important)
+
+let parse_declaration st : Css_ast.declaration option =
+  skip_ws st;
+  match peek st with
+  | Some '}' | None -> None
+  | _ ->
+    let property =
+      String.lowercase_ascii
+        (take_while st (fun c -> is_ident_char c && c <> '.'))
+    in
+    if property = "" then error "expected a property at offset %d" st.pos;
+    skip_ws st;
+    (match peek st with
+    | Some ':' -> advance st
+    | _ -> error "expected ':' after %s" property);
+    let value, important = parse_value st in
+    (match peek st with Some ';' -> advance st | _ -> ());
+    Some { Css_ast.property; value; important }
+
+let parse_rule st : Css_ast.rule option =
+  skip_ws st;
+  match peek st with
+  | None -> None
+  | Some '@' -> error "at-rules are not supported"
+  | Some _ ->
+    let selector =
+      String.trim (take_while st (fun c -> c <> '{'))
+    in
+    (match peek st with
+    | Some '{' -> advance st
+    | _ -> error "expected '{' after selector %S" selector);
+    let decls = ref [] in
+    let continue_ = ref true in
+    while !continue_ do
+      match parse_declaration st with
+      | Some d -> decls := d :: !decls
+      | None -> continue_ := false
+    done;
+    skip_ws st;
+    (match peek st with
+    | Some '}' -> advance st
+    | _ -> error "expected '}' closing rule %S" selector);
+    Some { Css_ast.selector; declarations = List.rev !decls }
+
+(** Parse a stylesheet.  @raise Error on malformed input. *)
+let parse (src : string) : Css_ast.stylesheet =
+  let st = { src; pos = 0 } in
+  let rules = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    skip_ws st;
+    if peek st = None then continue_ := false
+    else
+      match parse_rule st with
+      | Some r -> rules := r :: !rules
+      | None -> continue_ := false
+  done;
+  List.rev !rules

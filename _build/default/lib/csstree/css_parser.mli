@@ -1,0 +1,9 @@
+(** A pragmatic CSS parser for the subset modelled by {!Css_ast}: rules,
+    declarations, dimensions, keywords, strings, functions and
+    [!important]; comments are skipped.  At-rules and nested blocks are
+    rejected. *)
+
+exception Error of string
+
+val parse : string -> Css_ast.stylesheet
+(** @raise Error on malformed input. *)

@@ -1,0 +1,110 @@
+(** The MSO encoding of Section 4: configurations as second-order labels
+    on the heap tree, schedules as divergence predicates, and dependences
+    as access-collision formulas.
+
+    A {e configuration} (Section 3's stack-snapshot abstraction) is
+    represented by:
+    - a label [L_s] per {e call} block (and [main]) marking the nodes that
+      carry a record of [s] — non-call blocks need no labels because the
+      only non-call record is the current one, passed explicitly;
+    - a label [C_c] per {e arithmetic} branch condition, marking the nodes
+      where the transported weakest precondition of [c] holds; nil
+      conditions are structural ([isNil]) and the match relations
+      [K_{s,t}] are inlined as child-path constraints.
+
+    Dependence is location-sensitive (same node {e and} same field, or
+    same frame variable — with [return] modelled as a write to the
+    caller's receiving variables), which sharpens the paper's
+    node-granularity presentation and remains sound; pass
+    [~field_sensitive:false] to {!make} for the paper's granularity. *)
+
+(** A label namespace: which program copy ([tag]) and which of the two
+    configurations of a query ([cfg]) the labels belong to. *)
+type ns = { tag : string; cfg : int }
+
+val main_id : int
+(** Pseudo block id ([-1]) for the paper's [main] record. *)
+
+type t = {
+  info : Blocks.t;
+  sym : Symexec.t;
+  rw : (int * Rw.access) list;
+  arith_conds : int list;
+  consistent : (string * (int * bool) list list) list;
+      (** the paper's ConsistentCondSet, per function *)
+  field_sensitive : bool;
+  prune : bool;
+}
+
+val make : ?field_sensitive:bool -> ?prune:bool -> Blocks.t -> t
+(** Build the encoder state.
+    @param field_sensitive match accesses by field as well as node
+           (default [true]; [false] is the paper's node granularity)
+    @param prune force labels of calls that cannot reach the current
+           record to be empty (default [true]; [false] for ablations) *)
+
+val access_of : t -> int -> Rw.access
+(** @raise Invalid_argument on a call block. *)
+
+(** {1 Label variables} *)
+
+val block_var : t -> ns -> int -> string
+
+val cond_var : t -> ns -> int -> string
+
+val labels : t -> ns -> string list
+(** All label variables of one namespace, in a stable order. *)
+
+val label_env : t -> ns list -> Mso.env
+(** The environment for a set of namespaces, with the label families
+    {e interleaved} so the agreement guards of the schedule predicates
+    stay linear-size BDDs. *)
+
+(** {1 Formulas} *)
+
+val path_rel : Mso.var -> Ast.dir list -> Mso.var -> Mso.formula
+(** [path_rel u pi v]: [v] is reached from [u] along the pointer path. *)
+
+val nil_at : Mso.var -> Ast.dir list -> polarity:bool -> Mso.formula
+
+val path_cond : t -> ns -> int -> Mso.var * Mso.var -> Mso.formula
+(** [PathCond_{·,q}(u, v)]: the record of block [q] at [v] is reachable
+    from its frame record at [u] (structural step plus guards). *)
+
+val configuration : t -> ns -> q:int -> x:Mso.var -> Mso.formula
+(** [Configuration(L, C, q, x)]: the namespace's labels describe a valid
+    (abstracted) configuration whose current record runs non-call block
+    [q] on node [x]. *)
+
+val divergence_triples : t -> Blocks.order -> (int * int * int) list
+(** All [(s, t1, t2)] with [s / t1], [s / t2] and the given relation. *)
+
+val ordered_cases :
+  t ->
+  ns ->
+  ns ->
+  current1:(int * Mso.var) option ->
+  current2:(int * Mso.var) option ->
+  Mso.formula list
+(** The disjuncts of "configuration 1 is scheduled strictly before
+    configuration 2", one per divergence group.  Callers decide
+    satisfiability per disjunct — [sat (X ∧ ∨gs) = ∃g. sat (X ∧ g)] — so
+    the union automaton (exponential for mutually recursive clusters) is
+    never built. *)
+
+val parallel_cases :
+  t ->
+  ns ->
+  ns ->
+  current1:(int * Mso.var) option ->
+  current2:(int * Mso.var) option ->
+  Mso.formula list
+(** The disjuncts of "the two configurations may occur in either order". *)
+
+val conflict_access :
+  t -> ns -> ns -> q1:int -> x1:Mso.var -> q2:int -> x2:Mso.var -> Mso.formula
+(** The current records of the two configurations access a common
+    location, at least one writing. *)
+
+val may_conflict : t -> int -> int -> bool
+(** Cheap static prefilter: is the conflict formula non-trivial? *)

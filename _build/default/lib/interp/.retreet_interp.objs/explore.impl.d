@@ -1,0 +1,1 @@
+lib/interp/explore.ml: Ast Blocks Fmt Hashtbl Heap Interp List Option Queue

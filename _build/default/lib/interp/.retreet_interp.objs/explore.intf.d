@@ -1,0 +1,1 @@
+lib/interp/explore.mli: Blocks Heap

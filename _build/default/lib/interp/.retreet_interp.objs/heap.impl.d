@@ -1,0 +1,1 @@
+lib/interp/heap.ml: Ast Fmt Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/interp/heap.mli: Ast Format Hashtbl Random

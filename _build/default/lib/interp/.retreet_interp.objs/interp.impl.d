@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Ast Blocks Fmt Hashtbl Heap List

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Ast Blocks Format Heap

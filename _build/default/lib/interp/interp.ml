@@ -1,0 +1,247 @@
+(** Concrete interpreter for Retreet programs, with a dynamic dependence
+    oracle.
+
+    Execution follows the paper's semantics: call-by-value, statement-level
+    atomicity, and — for the oracle — every iteration (execution of a
+    non-call block on a node) is recorded together with the snapshot of the
+    call stack, i.e. exactly the {e configuration} of Section 3.  Two
+    iterations are unordered iff their configurations diverge at a parallel
+    pair of blocks; a race is an unordered conflicting pair.  This lets the
+    test suite replay MSO verdicts on concrete trees. *)
+
+type frame_id = int * Ast.dir list
+(** Creating call block ([-1] for the [Main] frame) and the frame node's
+    absolute path. *)
+
+type loc =
+  | LField of Ast.dir list * string  (** field of the node at a path *)
+  | LVar of frame_id * string  (** local variable of a frame *)
+
+let pp_path ppf p =
+  if p = [] then Fmt.string ppf "root"
+  else Fmt.(list ~sep:nop Ast.pp_dir) ppf p
+
+let pp_loc ppf = function
+  | LField (p, f) -> Fmt.pf ppf "%a.%s" pp_path p f
+  | LVar ((c, p), x) -> Fmt.pf ppf "%s@%d:%a" x c pp_path p
+
+type event = {
+  ev_block : int;  (** the non-call block executed *)
+  ev_path : Ast.dir list;  (** absolute path of the frame node *)
+  ev_stack : (int * Ast.dir list) list;
+      (** configuration: (call block, node path) outermost first; the head
+          is the [Main] frame [(-1, [])] *)
+  ev_reads : loc list;
+  ev_writes : loc list;
+}
+
+type result = { events : event list; returns : int list }
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+let run (info : Blocks.t) (heap : Heap.tree) (main_args : int list) : result =
+  let events = ref [] in
+  let emit ev = events := ev :: !events in
+  (* Executes function [fname] on [tree] (at absolute path [path]); the
+     frame was created by call block [call_id] from [caller]; a [return]
+     inside writes the [lhs] variables of the caller frame. *)
+  let rec exec_fun ~stack ~call_id ~caller_frame ~lhs fname tree path args :
+      int list =
+    let func =
+      match Ast.find_func info.prog fname with
+      | Some f -> f
+      | None -> error "call to undefined function %s" fname
+    in
+    let frame : frame_id = (call_id, path) in
+    let stack = stack @ [ (call_id, path) ] in
+    let vars : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    (if List.length args <> List.length func.int_params then
+       error "%s: expected %d Int arguments, got %d" fname
+         (List.length func.int_params) (List.length args));
+    List.iter2 (fun p v -> Hashtbl.replace vars p v) func.int_params args;
+    let returned = ref [] in
+    (* reads performed by branch conditions, charged to the next
+       straight-line block of this frame *)
+    let pending_reads = ref [] in
+    let read_var reads x =
+      reads := LVar (frame, x) :: !reads;
+      match Hashtbl.find_opt vars x with Some v -> v | None -> 0
+    in
+    let deref p =
+      match Heap.descend tree p with
+      | Some t -> t
+      | None -> error "%s: dereference of nil at %a" fname Ast.pp_lexpr p
+    in
+    let read_field reads p f =
+      let t = deref p in
+      if Heap.is_nil t then error "%s: field read %a.%s on nil" fname
+          Ast.pp_lexpr p f;
+      reads := LField (path @ p, f) :: !reads;
+      Heap.get_field t f
+    in
+    let rec eval reads = function
+      | Ast.Num k -> k
+      | Ast.Var x -> read_var reads x
+      | Ast.Field (p, f) -> read_field reads p f
+      | Ast.Add (a, b) -> eval reads a + eval reads b
+      | Ast.Sub (a, b) -> eval reads a - eval reads b
+    in
+    let eval_cond reads (c : Ast.bexpr) =
+      let rec go = function
+        | Ast.BTrue -> true
+        | Ast.NotB b -> not (go b)
+        | Ast.IsNilB p -> Heap.is_nil (deref p)
+        | Ast.Gt0 e -> eval reads e > 0
+      in
+      go c
+    in
+    let rec exec (s : Blocks.astmt) =
+      match s with
+      | Blocks.ABlock id -> exec_block id
+      | Blocks.AIf (cid, flipped, s1, s2) ->
+        let v =
+          match cid with
+          | None -> not flipped
+          | Some cid ->
+            let base = eval_cond pending_reads (Blocks.cond info cid).cond in
+            if flipped then not base else base
+        in
+        if v then exec s1 else exec s2
+      | Blocks.ASeq (a, b) ->
+        exec a;
+        exec b
+      | Blocks.APar (a, b) ->
+        (* Any serialization is a legal schedule; the oracle derives
+           unorderedness from the recorded configurations, so left-first
+           execution suffices for dependence analysis. *)
+        exec a;
+        exec b
+    and exec_block id =
+      let b = Blocks.block info id in
+      match b.block with
+      | Ast.Call c ->
+        let reads = ref [] in
+        let args = List.map (eval reads) c.args in
+        (* Argument evaluation is part of the call protocol and is not an
+           iteration; mirroring the static analysis, its reads are not
+           recorded as an event. *)
+        let target = deref c.target in
+        let rets =
+          exec_fun ~stack ~call_id:id ~caller_frame:(Some (frame, vars))
+            ~lhs:c.lhs c.callee target (path @ c.target) args
+        in
+        List.iteri
+          (fun i x ->
+            Hashtbl.replace vars x
+              (match List.nth_opt rets i with Some v -> v | None -> 0))
+          c.lhs
+      | Ast.Straight assigns ->
+        let reads = ref (List.rev !pending_reads) in
+        pending_reads := [];
+        let writes = ref [] in
+        List.iter
+          (fun a ->
+            match a with
+            | Ast.SetVar (x, e) ->
+              let v = eval reads e in
+              writes := LVar (frame, x) :: !writes;
+              Hashtbl.replace vars x v
+            | Ast.SetField (p, f, e) ->
+              let v = eval reads e in
+              let t = deref p in
+              if Heap.is_nil t then
+                error "%s: field write %a.%s on nil" fname Ast.pp_lexpr p f;
+              writes := LField (path @ p, f) :: !writes;
+              Heap.set_field t f v
+            | Ast.Return es ->
+              returned := List.map (eval reads) es;
+              (* the return writes the caller's receiving variables *)
+              (match caller_frame with
+              | Some (caller_id, _) when es <> [] ->
+                List.iter
+                  (fun x -> writes := LVar (caller_id, x) :: !writes)
+                  lhs
+              | _ -> ()))
+          assigns;
+        emit
+          {
+            ev_block = id;
+            ev_path = path;
+            ev_stack = stack;
+            ev_reads = List.sort_uniq compare !reads;
+            ev_writes = List.sort_uniq compare !writes;
+          }
+    in
+    exec (Blocks.body_of info fname);
+    !returned
+  in
+  let returns =
+    exec_fun ~stack:[] ~call_id:(-1) ~caller_frame:None ~lhs:[] "Main" heap []
+      main_args
+  in
+  { events = List.rev !events; returns }
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic dependence oracle                                           *)
+
+(** Are two recorded iterations unordered, i.e. do their configurations
+    diverge at a pair of parallel blocks?  (Section 3 of the paper, on
+    concrete stacks.) *)
+let unordered (info : Blocks.t) (e1 : event) (e2 : event) : bool =
+  let s1 = e1.ev_stack @ [ (e1.ev_block, e1.ev_path) ] in
+  let s2 = e2.ev_stack @ [ (e2.ev_block, e2.ev_path) ] in
+  let rec diverge l1 l2 =
+    match (l1, l2) with
+    | (b1, p1) :: r1, (b2, p2) :: r2 ->
+      if b1 = b2 && p1 = p2 then diverge r1 r2
+      else if b1 = b2 || b1 < 0 || b2 < 0 then false
+      else if not (Blocks.same_func info b1 b2) then false
+      else Blocks.order info b1 b2 = Blocks.Par
+    | _ -> false
+  in
+  diverge s1 s2
+
+let conflicting (e1 : event) (e2 : event) : loc list =
+  let hits xs ys = List.filter (fun x -> List.mem x ys) xs in
+  hits (e1.ev_reads @ e1.ev_writes) e2.ev_writes
+  @ hits e1.ev_writes e2.ev_reads
+  |> List.sort_uniq compare
+
+type race = { race_e1 : event; race_e2 : event; race_loc : loc }
+
+(** All racy pairs in a trace: unordered iterations with a conflicting
+    access. *)
+let races (info : Blocks.t) (events : event list) : race list =
+  let arr = Array.of_list events in
+  let out = ref [] in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if unordered info arr.(i) arr.(j) then
+        match conflicting arr.(i) arr.(j) with
+        | [] -> ()
+        | l :: _ ->
+          out := { race_e1 = arr.(i); race_e2 = arr.(j); race_loc = l } :: !out
+    done
+  done;
+  List.rev !out
+
+(** Run two programs on copies of the same heap and compare final heaps and
+    [Main]'s returned vector. *)
+let equivalent_on (p1 : Blocks.t) (p2 : Blocks.t) (heap : Heap.tree)
+    (args : int list) : bool =
+  let h1 = Heap.copy heap and h2 = Heap.copy heap in
+  let r1 = run p1 h1 args and r2 = run p2 h2 args in
+  r1.returns = r2.returns && Heap.equal h1 h2
+
+let pp_event ppf (e : event) =
+  Fmt.pf ppf "(%d @ %a | reads %a | writes %a)" e.ev_block pp_path e.ev_path
+    Fmt.(list ~sep:(any ",") pp_loc)
+    e.ev_reads
+    Fmt.(list ~sep:(any ",") pp_loc)
+    e.ev_writes

@@ -1,0 +1,1 @@
+lib/lang/blocks.ml: Array Ast List Printf

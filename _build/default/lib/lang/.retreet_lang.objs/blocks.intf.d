@@ -1,0 +1,1 @@
+lib/lang/blocks.mli: Ast

@@ -1,0 +1,1 @@
+lib/lang/rw.ml: Ast Blocks Fmt List

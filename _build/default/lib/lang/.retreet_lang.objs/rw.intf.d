@@ -1,0 +1,1 @@
+lib/lang/rw.mli: Ast Blocks Format

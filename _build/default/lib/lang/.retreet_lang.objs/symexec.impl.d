@@ -1,0 +1,1 @@
+lib/lang/symexec.ml: Array Ast Blocks Lia Lin List Map Printf String

@@ -1,0 +1,1 @@
+lib/lang/symexec.mli: Ast Blocks Lia Lin

@@ -1,0 +1,1 @@
+lib/lang/wf.ml: Array Ast Blocks Fmt Hashtbl Int List Printf String

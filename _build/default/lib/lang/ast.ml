@@ -1,0 +1,169 @@
+(** Abstract syntax of the Retreet language (Figure 2 of the paper).
+
+    Retreet programs execute on a tree-shaped heap.  Every function has a
+    single [Loc] parameter, an optional vector of [Int] parameters, and a
+    body built from code blocks combined with conditionals, sequencing and
+    parallel composition.  Trees are binary with pointer fields [l] and [r]
+    (the paper's standing assumption); location expressions are the [Loc]
+    parameter followed by a path of child selectors. *)
+
+type dir = L | R
+
+let pp_dir ppf = function L -> Fmt.string ppf "l" | R -> Fmt.string ppf "r"
+
+type lexpr = dir list
+(** A location expression [n.d1.d2...]: the path from the function's [Loc]
+    parameter.  The empty list is the parameter itself. *)
+
+let pp_lexpr ppf (le : lexpr) =
+  Fmt.string ppf "n";
+  List.iter (fun d -> Fmt.pf ppf ".%a" pp_dir d) le
+
+type aexpr =
+  | Num of int
+  | Var of string  (** an [Int] parameter or local variable *)
+  | Field of lexpr * string  (** [n.path.f] *)
+  | Add of aexpr * aexpr
+  | Sub of aexpr * aexpr
+
+let rec pp_aexpr ppf = function
+  | Num k -> Fmt.int ppf k
+  | Var x -> Fmt.string ppf x
+  | Field (le, f) -> Fmt.pf ppf "%a.%s" pp_lexpr le f
+  | Add (a, b) -> Fmt.pf ppf "%a + %a" pp_aexpr a pp_atomic b
+  | Sub (a, b) -> Fmt.pf ppf "%a - %a" pp_aexpr a pp_atomic b
+
+and pp_atomic ppf = function
+  | (Num _ | Var _ | Field _) as a -> pp_aexpr ppf a
+  | a -> Fmt.pf ppf "(%a)" pp_aexpr a
+
+(** Atomic boolean conditions.  The paper assumes every boolean expression
+    is atomic ([LExpr == nil] or [AExpr > 0]); richer conditions are
+    rewritten by the front end into nested conditionals. *)
+type bexpr =
+  | IsNilB of lexpr  (** [n.path == nil] *)
+  | Gt0 of aexpr  (** [e > 0] *)
+  | BTrue
+  | NotB of bexpr
+
+let rec pp_bexpr ppf = function
+  | IsNilB le -> Fmt.pf ppf "%a == nil" pp_lexpr le
+  | Gt0 a -> Fmt.pf ppf "%a > 0" pp_aexpr a
+  | BTrue -> Fmt.string ppf "true"
+  | NotB b -> Fmt.pf ppf "!(%a)" pp_bexpr b
+
+type assign =
+  | SetField of lexpr * string * aexpr  (** [n.path.f = e] *)
+  | SetVar of string * aexpr  (** [v = e] *)
+  | Return of aexpr list  (** [return e1, ..., ek] *)
+
+let pp_assign ppf = function
+  | SetField (le, f, e) -> Fmt.pf ppf "%a.%s = %a" pp_lexpr le f pp_aexpr e
+  | SetVar (x, e) -> Fmt.pf ppf "%s = %a" x pp_aexpr e
+  | Return es ->
+    Fmt.pf ppf "return %a" Fmt.(list ~sep:(any ", ") pp_aexpr) es
+
+type call = {
+  lhs : string list;  (** variables receiving the returned vector *)
+  callee : string;
+  target : lexpr;  (** the [Loc] argument *)
+  args : aexpr list;  (** the [Int] arguments *)
+}
+
+let pp_call ppf { lhs; callee; target; args } =
+  (match lhs with
+  | [] -> ()
+  | [ x ] -> Fmt.pf ppf "%s = " x
+  | xs -> Fmt.pf ppf "(%a) = " Fmt.(list ~sep:(any ", ") string) xs);
+  Fmt.pf ppf "%s(%a%a)" callee pp_lexpr target
+    Fmt.(list ~sep:nop (fun ppf a -> Fmt.pf ppf ", %a" pp_aexpr a))
+    args
+
+(** A code block: the atomic unit of iteration. *)
+type block =
+  | Call of call
+  | Straight of assign list  (** a maximal run of non-call assignments *)
+
+let pp_block ppf = function
+  | Call c -> pp_call ppf c
+  | Straight assigns ->
+    Fmt.(list ~sep:(any ";@ ") pp_assign) ppf assigns
+
+(** Statements.  [label] carries an optional user block label ([sK:]) used
+    to align blocks across program versions when checking equivalence. *)
+type stmt =
+  | SBlock of string option * block
+  | SIf of bexpr * stmt * stmt
+  | SSeq of stmt * stmt
+  | SPar of stmt * stmt
+
+type func = {
+  fname : string;
+  loc_param : string;  (** the single [Loc] parameter *)
+  int_params : string list;
+  body : stmt;
+}
+
+type prog = { funcs : func list }
+
+let find_func prog name = List.find_opt (fun f -> f.fname = name) prog.funcs
+
+let main_func prog =
+  match find_func prog "Main" with
+  | Some f -> f
+  | None -> invalid_arg "Retreet program has no Main function"
+
+let rec pp_stmt ppf = function
+  | SBlock (label, b) ->
+    (match label with
+    | Some l -> Fmt.pf ppf "%s: %a" l pp_block b
+    | None -> pp_block ppf b)
+  | SIf (c, s1, s2) ->
+    Fmt.pf ppf "@[<v 2>if (%a) {@ %a@]@ @[<v 2>} else {@ %a@]@ }" pp_bexpr c
+      pp_stmt s1 pp_stmt s2
+  | SSeq (s1, s2) -> Fmt.pf ppf "%a;@ %a" pp_stmt s1 pp_stmt s2
+  | SPar (s1, s2) -> Fmt.pf ppf "@[<v 2>{@ %a@ ||@ %a@]@ }" pp_stmt s1 pp_stmt s2
+
+let pp_func ppf f =
+  Fmt.pf ppf "@[<v 2>%s(%a) {@ %a@]@ }" f.fname
+    Fmt.(list ~sep:(any ", ") string)
+    (f.loc_param :: f.int_params)
+    pp_stmt f.body
+
+let pp_prog ppf p = Fmt.(list ~sep:(any "@ @ ") pp_func) ppf p.funcs
+
+(** Structural equality helpers (used by tests and the transformation
+    checkers). *)
+let equal_block (a : block) (b : block) = a = b
+
+let rec equal_stmt a b =
+  match (a, b) with
+  | SBlock (_, x), SBlock (_, y) -> equal_block x y
+  | SIf (c1, a1, b1), SIf (c2, a2, b2) ->
+    c1 = c2 && equal_stmt a1 a2 && equal_stmt b1 b2
+  | SSeq (a1, b1), SSeq (a2, b2) | SPar (a1, b1), SPar (a2, b2) ->
+    equal_stmt a1 a2 && equal_stmt b1 b2
+  | _ -> false
+
+(** Variables read by an arithmetic expression. *)
+let rec aexpr_vars = function
+  | Num _ -> []
+  | Var x -> [ x ]
+  | Field _ -> []
+  | Add (a, b) | Sub (a, b) -> aexpr_vars a @ aexpr_vars b
+
+(** Fields read by an arithmetic expression, as [(path, field)] pairs. *)
+let rec aexpr_fields = function
+  | Num _ | Var _ -> []
+  | Field (le, f) -> [ (le, f) ]
+  | Add (a, b) | Sub (a, b) -> aexpr_fields a @ aexpr_fields b
+
+let rec bexpr_vars = function
+  | IsNilB _ | BTrue -> []
+  | Gt0 a -> aexpr_vars a
+  | NotB b -> bexpr_vars b
+
+let rec bexpr_fields = function
+  | IsNilB _ | BTrue -> []
+  | Gt0 a -> aexpr_fields a
+  | NotB b -> bexpr_fields b

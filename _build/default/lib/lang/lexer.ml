@@ -1,0 +1,149 @@
+(** Hand-written lexer for [.retreet] sources. *)
+
+type token =
+  | IDENT of string
+  | NUM of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | EQ  (** [=] *)
+  | EQEQ  (** [==] *)
+  | BANGEQ  (** [!=] *)
+  | PLUS
+  | MINUS
+  | GT
+  | GE
+  | LT
+  | LE
+  | BANG
+  | ANDAND
+  | PARPAR  (** [||] *)
+  | KIF
+  | KELSE
+  | KRETURN
+  | KNIL
+  | KTRUE
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | NUM n -> Fmt.pf ppf "number %d" n
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | COMMA -> Fmt.string ppf "','"
+  | SEMI -> Fmt.string ppf "';'"
+  | COLON -> Fmt.string ppf "':'"
+  | DOT -> Fmt.string ppf "'.'"
+  | EQ -> Fmt.string ppf "'='"
+  | EQEQ -> Fmt.string ppf "'=='"
+  | BANGEQ -> Fmt.string ppf "'!='"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | GT -> Fmt.string ppf "'>'"
+  | GE -> Fmt.string ppf "'>='"
+  | LT -> Fmt.string ppf "'<'"
+  | LE -> Fmt.string ppf "'<='"
+  | BANG -> Fmt.string ppf "'!'"
+  | ANDAND -> Fmt.string ppf "'&&'"
+  | PARPAR -> Fmt.string ppf "'||'"
+  | KIF -> Fmt.string ppf "'if'"
+  | KELSE -> Fmt.string ppf "'else'"
+  | KRETURN -> Fmt.string ppf "'return'"
+  | KNIL -> Fmt.string ppf "'nil'"
+  | KTRUE -> Fmt.string ppf "'true'"
+  | EOF -> Fmt.string ppf "end of input"
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize a source string; each token carries its line number. *)
+let tokenize src : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      i := !j;
+      push
+        (match word with
+        | "if" -> KIF
+        | "else" -> KELSE
+        | "return" -> KRETURN
+        | "nil" -> KNIL
+        | "true" -> KTRUE
+        | _ -> IDENT word)
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      push (NUM (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some "==" -> push EQEQ; i := !i + 2
+      | Some "!=" -> push BANGEQ; i := !i + 2
+      | Some ">=" -> push GE; i := !i + 2
+      | Some "<=" -> push LE; i := !i + 2
+      | Some "&&" -> push ANDAND; i := !i + 2
+      | Some "||" -> push PARPAR; i := !i + 2
+      | _ ->
+        (match c with
+        | '(' -> push LPAREN
+        | ')' -> push RPAREN
+        | '{' -> push LBRACE
+        | '}' -> push RBRACE
+        | ',' -> push COMMA
+        | ';' -> push SEMI
+        | ':' -> push COLON
+        | '.' -> push DOT
+        | '=' -> push EQ
+        | '+' -> push PLUS
+        | '-' -> push MINUS
+        | '>' -> push GT
+        | '<' -> push LT
+        | '!' -> push BANG
+        | _ -> error "line %d: unexpected character %C" !line c);
+        incr i
+    end
+  done;
+  push EOF;
+  List.rev !toks

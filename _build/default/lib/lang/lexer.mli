@@ -1,0 +1,39 @@
+(** Tokenizer for [.retreet] sources.  Supports [//] line comments. *)
+
+type token =
+  | IDENT of string
+  | NUM of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | EQ
+  | EQEQ
+  | BANGEQ
+  | PLUS
+  | MINUS
+  | GT
+  | GE
+  | LT
+  | LE
+  | BANG
+  | ANDAND
+  | PARPAR  (** [||] *)
+  | KIF
+  | KELSE
+  | KRETURN
+  | KNIL
+  | KTRUE
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Error of string
+
+val tokenize : string -> (token * int) list
+(** Tokens with their line numbers; ends with [EOF].
+    @raise Error on an unexpected character. *)

@@ -1,0 +1,347 @@
+(** Recursive-descent parser for [.retreet] sources.
+
+    Syntax (informal):
+    {v
+    prog   ::= func+
+    func   ::= Name(n, p1, ..., pk) { stmt }
+    stmt   ::= item (';' item)*
+    item   ::= if (cond) { stmt } else { stmt }
+             | { stmt '||' stmt ('||' stmt)* }      parallel
+             | { stmt }                              grouping
+             | [label ':'] simple
+    simple ::= return e1, ..., ek
+             | v = e          | n.path.f = e
+             | v = F(n.path, e, ...)  | (v1, ..., vk) = F(n.path, e, ...)
+             | F(n.path, e, ...)
+    cond   ::= true | !cond | n.path == nil | n.path != nil
+             | e > e | e >= e | e < e | e <= e
+    v}
+    Consecutive unlabelled assignments merge into one straight-line block
+    (the paper's [Assgn+]); a label starts a new block. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type state = {
+  toks : (Lexer.token * int) array;
+  mutable pos : int;
+  mutable loc_param : string;
+}
+
+let peek st = fst st.toks.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
+  else Lexer.EOF
+
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st t =
+  if peek st = t then advance st
+  else
+    error "line %d: expected %a but found %a" (line st) Lexer.pp_token t
+      Lexer.pp_token (peek st)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error "line %d: expected an identifier, found %a" (line st)
+           Lexer.pp_token t
+
+(* --- location expressions --- *)
+
+(* Parses [.l.r...] after the Loc parameter, stopping at the first selector
+   that is not a direction; returns the path and that trailing field name,
+   if any. *)
+let rec lexpr_tail st acc =
+  if peek st = Lexer.DOT then begin
+    advance st;
+    match ident st with
+    | "l" -> lexpr_tail st (Ast.L :: acc)
+    | "r" -> lexpr_tail st (Ast.R :: acc)
+    | f -> (List.rev acc, Some f)
+  end
+  else (List.rev acc, None)
+
+let lexpr_opt_field st =
+  let name = ident st in
+  if name <> st.loc_param then
+    error "line %d: %S is not the Loc parameter (%S)" (line st) name
+      st.loc_param;
+  lexpr_tail st []
+
+let lexpr_no_field st =
+  match lexpr_opt_field st with
+  | path, None -> path
+  | _, Some f ->
+    error "line %d: unexpected field selector .%s in location expression"
+      (line st) f
+
+(* --- arithmetic expressions --- *)
+
+let rec parse_aexpr st : Ast.aexpr =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.Add (acc, parse_term st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.Sub (acc, parse_term st))
+    | _ -> acc
+  in
+  loop (parse_term st)
+
+and parse_term st : Ast.aexpr =
+  match peek st with
+  | Lexer.NUM k ->
+    advance st;
+    Ast.Num k
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Sub (Ast.Num 0, parse_term st)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_aexpr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name when name = st.loc_param -> (
+    advance st;
+    match lexpr_tail st [] with
+    | path, Some f -> Ast.Field (path, f)
+    | _, None ->
+      error "line %d: a location expression is not an Int expression"
+        (line st))
+  | Lexer.IDENT x ->
+    advance st;
+    Ast.Var x
+  | t ->
+    error "line %d: expected an Int expression, found %a" (line st)
+      Lexer.pp_token t
+
+(* --- boolean conditions --- *)
+
+let rec parse_bexpr st : Ast.bexpr =
+  match peek st with
+  | Lexer.KTRUE ->
+    advance st;
+    Ast.BTrue
+  | Lexer.BANG ->
+    advance st;
+    Ast.NotB (parse_bexpr st)
+  | Lexer.ANDAND ->
+    error
+      "line %d: '&&' is not allowed: Retreet conditions are atomic; use \
+       nested conditionals"
+      (line st)
+  | Lexer.IDENT name when name = st.loc_param && peek2 st <> Lexer.LPAREN -> (
+    let saved = st.pos in
+    match lexpr_opt_field st with
+    | path, None -> (
+      match peek st with
+      | Lexer.EQEQ ->
+        advance st;
+        expect st Lexer.KNIL;
+        Ast.IsNilB path
+      | Lexer.BANGEQ ->
+        advance st;
+        expect st Lexer.KNIL;
+        Ast.NotB (Ast.IsNilB path)
+      | _ ->
+        error "line %d: expected '== nil' or '!= nil'" (line st))
+    | _ ->
+      (* a field access: re-parse as an arithmetic comparison *)
+      st.pos <- saved;
+      parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let a = parse_aexpr st in
+  let mk op =
+    advance st;
+    let b = parse_aexpr st in
+    match op with
+    | `Gt -> Ast.Gt0 (Ast.Sub (a, b))
+    | `Ge -> Ast.Gt0 (Ast.Sub (Ast.Add (a, Ast.Num 1), b))
+    | `Lt -> Ast.Gt0 (Ast.Sub (b, a))
+    | `Le -> Ast.Gt0 (Ast.Sub (Ast.Add (b, Ast.Num 1), a))
+  in
+  match peek st with
+  | Lexer.GT -> mk `Gt
+  | Lexer.GE -> mk `Ge
+  | Lexer.LT -> mk `Lt
+  | Lexer.LE -> mk `Le
+  | t ->
+    error "line %d: expected a comparison operator, found %a" (line st)
+      Lexer.pp_token t
+
+(* --- statements --- *)
+
+type item =
+  | IAssign of string option * Ast.assign
+  | ICall of string option * Ast.call
+  | IStmt of Ast.stmt
+
+let parse_call st ~lhs ~label : item =
+  let callee = ident st in
+  expect st Lexer.LPAREN;
+  let target = lexpr_no_field st in
+  let args = ref [] in
+  while peek st = Lexer.COMMA do
+    advance st;
+    args := parse_aexpr st :: !args
+  done;
+  expect st Lexer.RPAREN;
+  ICall (label, { Ast.lhs; callee; target; args = List.rev !args })
+
+let rec parse_simple st ~label : item =
+  match peek st with
+  | Lexer.KRETURN ->
+    advance st;
+    let es = ref [] in
+    (match peek st with
+    | Lexer.SEMI | Lexer.RBRACE | Lexer.PARPAR -> ()
+    | _ ->
+      es := [ parse_aexpr st ];
+      while peek st = Lexer.COMMA do
+        advance st;
+        es := parse_aexpr st :: !es
+      done);
+    IAssign (label, Ast.Return (List.rev !es))
+  | Lexer.LPAREN ->
+    (* tuple lhs of a call *)
+    advance st;
+    let xs = ref [ ident st ] in
+    while peek st = Lexer.COMMA do
+      advance st;
+      xs := ident st :: !xs
+    done;
+    expect st Lexer.RPAREN;
+    expect st Lexer.EQ;
+    parse_call st ~lhs:(List.rev !xs) ~label
+  | Lexer.IDENT name when name = st.loc_param && peek2 st = Lexer.DOT -> (
+    match lexpr_opt_field st with
+    | path, Some f ->
+      expect st Lexer.EQ;
+      IAssign (label, Ast.SetField (path, f, parse_aexpr st))
+    | _, None ->
+      error "line %d: a bare location expression is not a statement"
+        (line st))
+  | Lexer.IDENT _ when peek2 st = Lexer.LPAREN -> parse_call st ~lhs:[] ~label
+  | Lexer.IDENT _ when peek2 st = Lexer.COLON ->
+    let l = ident st in
+    advance st (* colon *);
+    if label <> None then error "line %d: duplicate block label" (line st);
+    parse_simple st ~label:(Some l)
+  | Lexer.IDENT x -> (
+    advance st;
+    expect st Lexer.EQ;
+    match peek st with
+    | Lexer.IDENT g when peek2 st = Lexer.LPAREN && g <> st.loc_param ->
+      parse_call st ~lhs:[ x ] ~label
+    | _ -> IAssign (label, Ast.SetVar (x, parse_aexpr st)))
+  | t ->
+    error "line %d: expected a statement, found %a" (line st) Lexer.pp_token t
+
+and parse_item st : item =
+  match peek st with
+  | Lexer.KIF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_bexpr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.LBRACE;
+    let s1 = parse_seq st in
+    expect st Lexer.RBRACE;
+    expect st Lexer.KELSE;
+    expect st Lexer.LBRACE;
+    let s2 = parse_seq st in
+    expect st Lexer.RBRACE;
+    IStmt (Ast.SIf (c, s1, s2))
+  | Lexer.LBRACE ->
+    advance st;
+    let s1 = parse_seq st in
+    let arms = ref [ s1 ] in
+    while peek st = Lexer.PARPAR do
+      advance st;
+      arms := parse_seq st :: !arms
+    done;
+    expect st Lexer.RBRACE;
+    let arms = List.rev !arms in
+    IStmt
+      (match arms with
+      | [ s ] -> s
+      | s :: rest -> List.fold_left (fun acc a -> Ast.SPar (acc, a)) s rest
+      | [] -> assert false)
+  | _ -> parse_simple st ~label:None
+
+(* Merge maximal runs of assignments into straight-line blocks.  A label
+   starts a new block. *)
+and parse_seq st : Ast.stmt =
+  let items = ref [ parse_item st ] in
+  let continues () =
+    if peek st = Lexer.SEMI then begin
+      advance st;
+      match peek st with
+      | Lexer.RBRACE | Lexer.PARPAR | Lexer.EOF -> false
+      | _ -> true
+    end
+    else false
+  in
+  while continues () do
+    items := parse_item st :: !items
+  done;
+  let items = List.rev !items in
+  let stmts =
+    let rec group = function
+      | [] -> []
+      | IAssign (label, a) :: rest ->
+        let rec take acc = function
+          | IAssign (None, a') :: rest' -> take (a' :: acc) rest'
+          | rest' -> (List.rev acc, rest')
+        in
+        let assigns, rest' = take [ a ] rest in
+        Ast.SBlock (label, Ast.Straight assigns) :: group rest'
+      | ICall (label, c) :: rest -> Ast.SBlock (label, Ast.Call c) :: group rest
+      | IStmt s :: rest -> s :: group rest
+    in
+    group items
+  in
+  match stmts with
+  | [] -> error "empty statement sequence"
+  | s :: rest -> List.fold_left (fun acc s' -> Ast.SSeq (acc, s')) s rest
+
+let parse_func st : Ast.func =
+  let fname = ident st in
+  expect st Lexer.LPAREN;
+  let loc_param = ident st in
+  st.loc_param <- loc_param;
+  let int_params = ref [] in
+  while peek st = Lexer.COMMA do
+    advance st;
+    int_params := ident st :: !int_params
+  done;
+  expect st Lexer.RPAREN;
+  expect st Lexer.LBRACE;
+  let body = parse_seq st in
+  expect st Lexer.RBRACE;
+  { Ast.fname; loc_param; int_params = List.rev !int_params; body }
+
+let parse_program (src : string) : Ast.prog =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0; loc_param = "n" } in
+  let funcs = ref [] in
+  while peek st <> Lexer.EOF do
+    funcs := parse_func st :: !funcs
+  done;
+  { Ast.funcs = List.rev !funcs }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_program src

@@ -1,0 +1,28 @@
+(** Recursive-descent parser for [.retreet] sources.
+
+    Concrete syntax (informal; see the README for examples):
+    {v
+    prog   ::= func+
+    func   ::= Name(n, p1, ..., pk) { stmt }
+    stmt   ::= item (';' item)*
+    item   ::= if (cond) { stmt } else { stmt }
+             | { stmt '||' stmt }                 parallel composition
+             | { stmt }                           grouping
+             | [label ':'] simple
+    simple ::= return e, ...
+             | v = e | n.path.f = e
+             | [lhs =] F(n.path, e, ...)
+    cond   ::= true | !cond | n.path == nil | n.path != nil
+             | e > e | e >= e | e < e | e <= e
+    v}
+    Consecutive unlabelled assignments merge into one straight-line block
+    (the paper's [Assgn+]); a label starts a new block.  [l]/[r] are
+    reserved as child selectors, so [n.l.v] reads field [v] of the left
+    child. *)
+
+exception Error of string
+
+val parse_program : string -> Ast.prog
+(** @raise Error (or {!Lexer.Error}) with a line-numbered message. *)
+
+val parse_file : string -> Ast.prog

@@ -1,0 +1,195 @@
+(** Symbolic speculative execution (Definitions 1 and 2 of the paper).
+
+    For every function we execute the body symbolically, replacing each
+    call's return values by ghost symbols (the speculative outputs [O]) and
+    each parameter by an input symbol (the initial values [I]).  The result
+    attaches to every branch condition its weakest precondition transported
+    to the function entry (Figure 12) — a nil test on a location, or a
+    linear-arithmetic atom over the entry symbols — and records the
+    symbolic integer arguments of every call and the symbolic returned
+    vector of every return block.
+
+    Join points (code after a conditional or a parallel composition whose
+    arms disagree on a variable or field) introduce fresh join symbols; the
+    result is an over-approximation of the reachable valuations, which
+    keeps the downstream race/conflict analyses sound. *)
+
+type sym_cond =
+  | SNil of Ast.lexpr  (** the condition [path == nil], a structural fact *)
+  | SArith of Lin.t  (** the condition [e > 0] over entry symbols *)
+
+type t = {
+  info : Blocks.t;
+  cond_sym : sym_cond array;  (** indexed by condition id *)
+  call_args : (int * Lin.t list) list;  (** call block id -> symbolic args *)
+  ret_exprs : (int * Lin.t list) list;  (** return block id -> symbolic vector *)
+}
+
+(* Symbol naming scheme.  All names are scoped by function so that atoms
+   from different frames never share variables. *)
+let param_sym fname p = Printf.sprintf "p:%s:%s" fname p
+
+let field_sym fname path f =
+  Printf.sprintf "f:%s:%s:%s" fname
+    (String.concat "" (List.map (function Ast.L -> "l" | Ast.R -> "r") path))
+    f
+
+let ghost_sym block_id k = Printf.sprintf "r:%d:%d" block_id k
+
+(* The join counter is function-local so that structurally identical
+   functions in different programs produce identical (normalizable) join
+   symbols — the bisimulation check compares path-condition atoms across
+   programs. *)
+let join_counter = ref 0
+let reset_join_counter () = join_counter := 0
+
+let join_sym fname x =
+  incr join_counter;
+  Printf.sprintf "j:%s:%s:%d" fname x !join_counter
+
+module SM = Map.Make (String)
+module FM = Map.Make (struct
+  type t = Ast.lexpr * string
+
+  let compare = compare
+end)
+
+type state = { vars : Lin.t SM.t; flds : Lin.t FM.t }
+
+let eval_aexpr fname st (e : Ast.aexpr) : Lin.t =
+  let rec go = function
+    | Ast.Num k -> Lin.of_int k
+    | Ast.Var x -> (
+      match SM.find_opt x st.vars with
+      | Some v -> v
+      | None -> Lin.var (param_sym fname x))
+    | Ast.Field (p, f) -> (
+      match FM.find_opt (p, f) st.flds with
+      | Some v -> v
+      | None -> Lin.var (field_sym fname p f))
+    | Ast.Add (a, b) -> Lin.add (go a) (go b)
+    | Ast.Sub (a, b) -> Lin.sub (go a) (go b)
+  in
+  go e
+
+(* Merge two states after branching control flow: bindings present and equal
+   on both sides are kept; anything else becomes a fresh join symbol. *)
+let join fname (a : state) (b : state) : state =
+  let join_vars =
+    SM.merge
+      (fun x va vb ->
+        match (va, vb) with
+        | Some va, Some vb when Lin.equal va vb -> Some va
+        | None, None -> None
+        | _ -> Some (Lin.var (join_sym fname x)))
+      a.vars b.vars
+  in
+  let join_flds =
+    FM.merge
+      (fun (_, f) va vb ->
+        match (va, vb) with
+        | Some va, Some vb when Lin.equal va vb -> Some va
+        | None, None -> None
+        | _ -> Some (Lin.var (join_sym fname ("fld_" ^ f))))
+      a.flds b.flds
+  in
+  { vars = join_vars; flds = join_flds }
+
+let analyze (info : Blocks.t) : t =
+  let ncond = Array.length info.conds in
+  let cond_sym = Array.make ncond (SNil []) in
+  let call_args = ref [] and ret_exprs = ref [] in
+  (* Mirror of Blocks.analyze's traversal: the same statement order yields
+     the same block and condition numbering. *)
+  let next_block = ref 0 and next_cond = ref 0 in
+  List.iter
+    (fun (f : Ast.func) ->
+      reset_join_counter ();
+      let fname = f.fname in
+      let init =
+        {
+          vars =
+            List.fold_left
+              (fun m p -> SM.add p (Lin.var (param_sym fname p)) m)
+              SM.empty f.int_params;
+          flds = FM.empty;
+        }
+      in
+      let rec walk st (s : Ast.stmt) : state =
+        match s with
+        | Ast.SBlock (_, b) ->
+          let id = !next_block in
+          incr next_block;
+          (match b with
+          | Ast.Call c ->
+            let args = List.map (eval_aexpr fname st) c.args in
+            call_args := (id, args) :: !call_args;
+            let vars =
+              List.fold_left
+                (fun (k, m) x -> (k + 1, SM.add x (Lin.var (ghost_sym id k)) m))
+                (0, st.vars) c.lhs
+              |> snd
+            in
+            { st with vars }
+          | Ast.Straight assigns ->
+            List.fold_left
+              (fun st a ->
+                match a with
+                | Ast.SetVar (x, e) ->
+                  { st with vars = SM.add x (eval_aexpr fname st e) st.vars }
+                | Ast.SetField (p, fld, e) ->
+                  {
+                    st with
+                    flds = FM.add (p, fld) (eval_aexpr fname st e) st.flds;
+                  }
+                | Ast.Return es ->
+                  ret_exprs :=
+                    (id, List.map (eval_aexpr fname st) es) :: !ret_exprs;
+                  st)
+              st assigns)
+        | Ast.SIf (c, s1, s2) ->
+          let atom, _flipped = Blocks.strip_not c in
+          (match atom with
+          | Ast.IsNilB p | Ast.NotB (Ast.IsNilB p) ->
+            cond_sym.(!next_cond) <- SNil p;
+            incr next_cond
+          | Ast.Gt0 e ->
+            cond_sym.(!next_cond) <- SArith (eval_aexpr fname st e);
+            incr next_cond
+          | Ast.BTrue -> ()
+          | Ast.NotB _ -> assert false);
+          let st1 = walk st s1 in
+          let st2 = walk st s2 in
+          join fname st1 st2
+        | Ast.SSeq (s1, s2) -> walk (walk st s1) s2
+        | Ast.SPar (s1, s2) ->
+          let st1 = walk st s1 in
+          let st2 = walk st s2 in
+          join fname st1 st2
+      in
+      ignore (walk init f.body))
+    info.prog.funcs;
+  { info; cond_sym; call_args = !call_args; ret_exprs = !ret_exprs }
+
+(** The weakest-precondition form of condition [cid] as a LIA atom,
+    [None] for structural nil conditions.  Polarity [true] is the positive
+    condition. *)
+let cond_atom (t : t) cid ~(polarity : bool) : Lia.atom option =
+  match t.cond_sym.(cid) with
+  | SNil _ -> None
+  | SArith e -> Some (if polarity then Lia.gt0 e else Lia.le0 e)
+
+(** The nil-test location of condition [cid], if structural. *)
+let cond_nil (t : t) cid : Ast.lexpr option =
+  match t.cond_sym.(cid) with SNil p -> Some p | SArith _ -> None
+
+let args_of (t : t) call_id =
+  match List.assoc_opt call_id t.call_args with Some a -> a | None -> []
+
+let returns_of (t : t) ret_id =
+  match List.assoc_opt ret_id t.ret_exprs with Some a -> a | None -> []
+
+(** The guard conjunction of a block as LIA atoms (arithmetic conditions
+    only; nil conditions are handled structurally by the encoder). *)
+let guard_atoms (t : t) (b : Blocks.block_info) : Lia.conj =
+  List.filter_map (fun (cid, pol) -> cond_atom t cid ~polarity:pol) b.guards

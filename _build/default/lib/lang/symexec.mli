@@ -1,0 +1,48 @@
+(** Symbolic speculative execution (Definitions 1 and 2 of the paper).
+
+    Each function body is executed symbolically with its parameters as
+    input symbols and each call's return values as ghost symbols (the
+    speculative outputs [O] of Definition 1).  The result attaches to
+    every branch condition its weakest precondition transported to the
+    function entry (the paper's Figure 12): either a structural nil test
+    or a linear-arithmetic atom over the entry symbols.  Joins after
+    branching control flow introduce fresh (function-locally numbered)
+    join symbols, an over-approximation that keeps downstream analyses
+    sound. *)
+
+type sym_cond =
+  | SNil of Ast.lexpr  (** the condition [path == nil], structural *)
+  | SArith of Lin.t  (** the condition [e > 0] over entry symbols *)
+
+type t = {
+  info : Blocks.t;
+  cond_sym : sym_cond array;  (** indexed by condition id *)
+  call_args : (int * Lin.t list) list;  (** call block id → symbolic args *)
+  ret_exprs : (int * Lin.t list) list;
+      (** return block id → symbolic returned vector *)
+}
+
+val param_sym : string -> string -> string
+(** [param_sym fname p]: the entry symbol of parameter [p] of [fname]. *)
+
+val field_sym : string -> Ast.dir list -> string -> string
+(** Entry symbol of a field's initial value. *)
+
+val ghost_sym : int -> int -> string
+(** [ghost_sym block k]: speculative output [k] of a call block. *)
+
+val analyze : Blocks.t -> t
+
+val cond_atom : t -> int -> polarity:bool -> Lia.atom option
+(** The weakest-precondition form of a condition as a LIA atom; [None]
+    for structural nil conditions. *)
+
+val cond_nil : t -> int -> Ast.lexpr option
+(** The nil-test location of a condition, if structural. *)
+
+val args_of : t -> int -> Lin.t list
+
+val returns_of : t -> int -> Lin.t list
+
+val guard_atoms : t -> Blocks.block_info -> Lia.conj
+(** The arithmetic guards of a block as transported atoms. *)

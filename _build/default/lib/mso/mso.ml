@@ -1,0 +1,545 @@
+let src = Logs.Src.create "retreet.mso" ~doc:"MSO over binary trees"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type var = string
+
+type formula =
+  | True
+  | False
+  | Sub of var * var
+  | EqSet of var * var
+  | EmptySet of var
+  | Sing of var
+  | Mem of var * var
+  | EqPos of var * var
+  | LeftOf of var * var
+  | RightOf of var * var
+  | Root of var
+  | IsNil of var
+  | Reach of var * var
+  | AgreeAbove of var * (var * var) list * (var * var) list
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Imp of formula * formula
+  | Iff of formula * formula
+  | Exists2 of var * formula
+  | Forall2 of var * formula
+  | Exists1 of var * formula
+  | Forall1 of var * formula
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                  *)
+
+let and_l fs =
+  let rec flatten acc = function
+    | [] -> Some (List.rev acc)
+    | True :: rest -> flatten acc rest
+    | False :: _ -> None
+    | And gs :: rest -> flatten acc (gs @ rest)
+    | f :: rest -> flatten (f :: acc) rest
+  in
+  match flatten [] fs with
+  | None -> False
+  | Some [] -> True
+  | Some [ f ] -> f
+  | Some fs -> And fs
+
+let or_l fs =
+  let rec flatten acc = function
+    | [] -> Some (List.rev acc)
+    | False :: rest -> flatten acc rest
+    | True :: _ -> None
+    | Or gs :: rest -> flatten acc (gs @ rest)
+    | f :: rest -> flatten (f :: acc) rest
+  in
+  match flatten [] fs with
+  | None -> True
+  | Some [] -> False
+  | Some [ f ] -> f
+  | Some fs -> Or fs
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let rec imp a b =
+  match (a, b) with
+  | True, b -> b
+  | False, _ -> True
+  | a, False -> not_ a
+  | _, True -> True
+  | a, And bs ->
+    (* distribute: a → (b1 ∧ b2) = (a → b1) ∧ (a → b2); subformula caching
+       in the compiler makes the duplicated antecedent cheap, and universal
+       quantifiers then distribute over the resulting conjunction *)
+    and_l (List.map (imp a) bs)
+  | _ -> Imp (a, b)
+
+let iff a b =
+  match (a, b) with
+  | True, b -> b
+  | b, True -> b
+  | False, b -> not_ b
+  | b, False -> not_ b
+  | _ -> Iff (a, b)
+
+let exists2_many xs f = List.fold_right (fun x acc -> Exists2 (x, acc)) xs f
+let exists1_many xs f = List.fold_right (fun x acc -> Exists1 (x, acc)) xs f
+let forall1_many xs f = List.fold_right (fun x acc -> Forall1 (x, acc)) xs f
+
+(* ------------------------------------------------------------------ *)
+(* Free variables                                                      *)
+
+module VSet = Set.Make (String)
+
+let rec fv = function
+  | True | False -> VSet.empty
+  | Sub (a, b) | EqSet (a, b) | Mem (a, b) | EqPos (a, b)
+  | LeftOf (a, b) | RightOf (a, b) | Reach (a, b) ->
+    VSet.of_list [ a; b ]
+  | EmptySet a | Sing a | Root a | IsNil a -> VSet.singleton a
+  | AgreeAbove (z, strict, incl) ->
+    VSet.of_list
+      (z :: List.concat_map (fun (a, b) -> [ a; b ]) (strict @ incl))
+  | Not f -> fv f
+  | And fs | Or fs -> List.fold_left (fun s f -> VSet.union s (fv f)) VSet.empty fs
+  | Imp (a, b) | Iff (a, b) -> VSet.union (fv a) (fv b)
+  | Exists2 (x, f) | Forall2 (x, f) | Exists1 (x, f) | Forall1 (x, f) ->
+    VSet.remove x (fv f)
+
+let free_vars f = VSet.elements (fv f)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Sub (a, b) -> Fmt.pf ppf "%s sub %s" a b
+  | EqSet (a, b) -> Fmt.pf ppf "%s = %s" a b
+  | EmptySet a -> Fmt.pf ppf "empty(%s)" a
+  | Sing a -> Fmt.pf ppf "sing(%s)" a
+  | Mem (a, b) -> Fmt.pf ppf "%s in %s" a b
+  | EqPos (a, b) -> Fmt.pf ppf "%s = %s" a b
+  | LeftOf (a, b) -> Fmt.pf ppf "%s = left(%s)" b a
+  | RightOf (a, b) -> Fmt.pf ppf "%s = right(%s)" b a
+  | Root a -> Fmt.pf ppf "root(%s)" a
+  | IsNil a -> Fmt.pf ppf "isNil(%s)" a
+  | Reach (a, b) -> Fmt.pf ppf "reach(%s, %s)" a b
+  | AgreeAbove (z, strict, incl) ->
+    Fmt.pf ppf "agreeAbove(%s; %a; %a)" z
+      Fmt.(list ~sep:(any ",") (pair ~sep:(any "~") string string))
+      strict
+      Fmt.(list ~sep:(any ",") (pair ~sep:(any "~") string string))
+      incl
+  | Not f -> Fmt.pf ppf "~(%a)" pp f
+  | And fs -> Fmt.pf ppf "(@[%a@])" Fmt.(list ~sep:(any " &@ ") pp) fs
+  | Or fs -> Fmt.pf ppf "(@[%a@])" Fmt.(list ~sep:(any " |@ ") pp) fs
+  | Imp (a, b) -> Fmt.pf ppf "(%a => %a)" pp a pp b
+  | Iff (a, b) -> Fmt.pf ppf "(%a <=> %a)" pp a pp b
+  | Exists2 (x, f) -> Fmt.pf ppf "ex2 %s. %a" x pp f
+  | Forall2 (x, f) -> Fmt.pf ppf "all2 %s. %a" x pp f
+  | Exists1 (x, f) -> Fmt.pf ppf "ex1 %s. %a" x pp f
+  | Forall1 (x, f) -> Fmt.pf ppf "all1 %s. %a" x pp f
+
+(* ------------------------------------------------------------------ *)
+(* Atom automata.
+
+   Every first-order atom below assumes its first-order tracks are
+   singletons on accepted trees; the compiler conjoins [Sing] at each
+   first-order quantifier, and [solve] does so for free variables, so the
+   assumption always holds where it matters. *)
+
+let bits2 x y f =
+  [
+    (Bdd.conj (Bdd.var x) (Bdd.var y), f true true);
+    (Bdd.conj (Bdd.var x) (Bdd.nvar y), f true false);
+    (Bdd.conj (Bdd.nvar x) (Bdd.var y), f false true);
+    (Bdd.top, f false false);
+  ]
+
+let bits1 x f = [ (Bdd.var x, f true); (Bdd.top, f false) ]
+
+(* Every position satisfies the per-position guard [g]. *)
+let local_all g =
+  Treeauto.make ~nstates:2
+    ~leaf:[ (g, 0); (Bdd.top, 1) ]
+    ~delta:(fun q1 q2 ->
+      if q1 = 0 && q2 = 0 then [ (g, 0); (Bdd.top, 1) ] else [ (Bdd.top, 1) ])
+    ~accept:(fun q -> q = 0)
+
+let auto_sub i j = local_all (Bdd.imp (Bdd.var i) (Bdd.var j))
+let auto_eqset i j = local_all (Bdd.iff (Bdd.var i) (Bdd.var j))
+let auto_empty i = local_all (Bdd.nvar i)
+let auto_mem i j = local_all (Bdd.imp (Bdd.var i) (Bdd.var j))
+let auto_eqpos i j = local_all (Bdd.iff (Bdd.var i) (Bdd.var j))
+
+(* Exactly one position carries track [i]: states count occurrences 0/1/2+. *)
+let auto_sing i =
+  Treeauto.make ~nstates:3
+    ~leaf:(bits1 i (fun b -> if b then 1 else 0))
+    ~delta:(fun q1 q2 ->
+      let n = min 2 (q1 + q2) in
+      bits1 i (fun b -> if b then min 2 (n + 1) else n))
+    ~accept:(fun q -> q = 1)
+
+(* The position of [i] is the root: 0 = unseen, 1 = i is the subtree root,
+   2 = i strictly inside. *)
+let auto_root i =
+  Treeauto.make ~nstates:3
+    ~leaf:(bits1 i (fun b -> if b then 1 else 0))
+    ~delta:(fun q1 q2 ->
+      bits1 i (fun b -> if b then 1 else if q1 >= 1 || q2 >= 1 then 2 else 0))
+    ~accept:(fun q -> q = 1)
+
+(* The position of [i] is a leaf: 0 = unseen, 1 = seen at leaf, 2 = seen at
+   an internal position. *)
+let auto_isnil i =
+  Treeauto.make ~nstates:3
+    ~leaf:(bits1 i (fun b -> if b then 1 else 0))
+    ~delta:(fun q1 q2 ->
+      bits1 i (fun b -> if b then 2 else max q1 q2))
+    ~accept:(fun q -> q = 1)
+
+(* y = left(x) (resp. right).  States: 0 = nothing seen, 1 = y is the root
+   of the processed subtree, 2 = y strictly inside, 3 = relation
+   established, 4 = relation refuted. *)
+let auto_child ~left x y =
+  Treeauto.make ~nstates:5
+    ~leaf:
+      (bits2 x y (fun bx by ->
+           if bx then 4 else if by then 1 else 0))
+    ~delta:(fun ql qr ->
+      bits2 x y (fun bx by ->
+          if ql = 4 || qr = 4 then 4
+          else if ql = 3 || qr = 3 then 3
+          else if bx then begin
+            let child = if left then ql else qr in
+            let other = if left then qr else ql in
+            if (not by) && child = 1 && other = 0 then 3 else 4
+          end
+          else if by then 1
+          else if ql >= 1 || qr >= 1 then 2
+          else 0))
+    ~accept:(fun q -> q = 3)
+
+(* reach(x, y): x is an ancestor of y, or x = y.  States: 0 = none seen,
+   1 = y seen, 2 = established, 3 = refuted. *)
+let auto_reach x y =
+  Treeauto.make ~nstates:4
+    ~leaf:
+      (bits2 x y (fun bx by ->
+           if bx && by then 2 else if bx then 3 else if by then 1 else 0))
+    ~delta:(fun ql qr ->
+      bits2 x y (fun bx by ->
+          if ql = 2 || qr = 2 then 2
+          else if ql = 3 || qr = 3 then 3
+          else begin
+            let y_below = by || ql = 1 || qr = 1 in
+            if bx then if y_below then 2 else 3
+            else if y_below then 1
+            else 0
+          end))
+    ~accept:(fun q -> q = 2)
+
+(* All ancestors of the position of [z] (including it) satisfy the label
+   agreement guard.  States: 0 = z unseen, 1 = z seen and every node from z
+   to the subtree root satisfies the guard, 2 = violated. *)
+let auto_agree_above z strict incl =
+  let guard ps =
+    Bdd.conj_list
+      (List.map (fun (a, b) -> Bdd.iff (Bdd.var a) (Bdd.var b)) ps)
+  in
+  let g_incl = guard incl in
+  let g_above = Bdd.conj (guard strict) g_incl in
+  let entry =
+    [ (Bdd.conj (Bdd.var z) g_incl, 1); (Bdd.var z, 2); (Bdd.top, 0) ]
+  in
+  Treeauto.make ~nstates:3 ~leaf:entry
+    ~delta:(fun q1 q2 ->
+      match max q1 q2 with
+      | 2 -> [ (Bdd.top, 2) ]
+      | 1 -> [ (g_above, 1); (Bdd.top, 2) ]
+      | _ -> entry)
+    ~accept:(fun q -> q = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+
+type kind = FO | SO
+
+type env = (var * kind) list
+
+(* Persistent subformula cache: queries within a session share compiled
+   automata (e.g. the same Configuration formula across many block-pair
+   queries).  Keyed by the formula, the track assignment of its free
+   variables, and the next free track. *)
+let cache : (formula * (var * int) list * int, Treeauto.t) Hashtbl.t =
+  Hashtbl.create 4096
+
+let compile env formula =
+  let track tenv v =
+    match List.assoc_opt v tenv with
+    | Some t -> t
+    | None -> invalid_arg (Printf.sprintf "Mso.compile: unbound variable %s" v)
+  in
+  let rec comp tenv next f =
+    let key_env =
+      (* only the free variables matter for caching *)
+      let fvs = fv f in
+      List.filter (fun (v, _) -> VSet.mem v fvs) tenv
+      |> List.sort compare
+    in
+    let key = (f, key_env, next) in
+    match Hashtbl.find_opt cache key with
+    | Some a -> a
+    | None ->
+      let a = comp_raw tenv next f in
+      Hashtbl.add cache key a;
+      a
+  and comp_raw tenv next f =
+    let t = track tenv in
+    match f with
+    | True -> Treeauto.const true
+    | False -> Treeauto.const false
+    | Sub (a, b) -> auto_sub (t a) (t b)
+    | EqSet (a, b) -> auto_eqset (t a) (t b)
+    | EmptySet a -> auto_empty (t a)
+    | Sing a -> auto_sing (t a)
+    | Mem (a, b) -> auto_mem (t a) (t b)
+    | EqPos (a, b) -> auto_eqpos (t a) (t b)
+    | LeftOf (a, b) -> auto_child ~left:true (t a) (t b)
+    | RightOf (a, b) -> auto_child ~left:false (t a) (t b)
+    | Root a -> auto_root (t a)
+    | IsNil a -> auto_isnil (t a)
+    | Reach (a, b) -> auto_reach (t a) (t b)
+    | AgreeAbove (z, strict, incl) ->
+      let tr = List.map (fun (a, b) -> (t a, t b)) in
+      auto_agree_above (t z) (tr strict) (tr incl)
+    | Not g -> Treeauto.complement (comp tenv next g)
+    | And gs -> Treeauto.inter_list (List.map (comp tenv next) gs)
+    | Or gs -> Treeauto.union_list (List.map (comp tenv next) gs)
+    | Imp (a, b) ->
+      Treeauto.minimize
+        (Treeauto.union
+           (Treeauto.complement (comp tenv next a))
+           (comp tenv next b))
+    | Iff (a, b) ->
+      let ca = comp tenv next a and cb = comp tenv next b in
+      Treeauto.minimize
+        (Treeauto.union (Treeauto.inter ca cb)
+           (Treeauto.inter (Treeauto.complement ca) (Treeauto.complement cb)))
+    | Exists2 (x, Or gs) ->
+      (* ∃ distributes over ∨: keeps intermediate automata small *)
+      Treeauto.union_list (List.map (fun g -> comp tenv next (Exists2 (x, g))) gs)
+    | Exists2 (x, g) ->
+      (* hoist conjuncts that do not mention x out of the quantifier *)
+      let dependent, independent =
+        match g with
+        | And gs -> List.partition (fun h -> VSet.mem x (fv h)) gs
+        | _ -> ([ g ], [])
+      in
+      let inner =
+        Treeauto.project next
+          (comp ((x, next) :: tenv) (next + 1) (and_l dependent))
+      in
+      Treeauto.inter_list (inner :: List.map (comp tenv next) independent)
+    | Forall2 (x, And gs) ->
+      Treeauto.inter_list (List.map (fun g -> comp tenv next (Forall2 (x, g))) gs)
+    | Forall2 (x, g) ->
+      Treeauto.complement
+        (Treeauto.project next
+           (Treeauto.complement (comp ((x, next) :: tenv) (next + 1) g)))
+    | Exists1 (x, Or gs) ->
+      Treeauto.union_list (List.map (fun g -> comp tenv next (Exists1 (x, g))) gs)
+    | Exists1 (x, g) ->
+      (* hoist conjuncts that do not mention x out of the quantifier *)
+      let dependent, independent =
+        match g with
+        | And gs -> List.partition (fun h -> VSet.mem x (fv h)) gs
+        | _ -> ([ g ], [])
+      in
+      let inner =
+        Treeauto.project next
+          (Treeauto.minimize
+             (Treeauto.inter (auto_sing next)
+                (comp ((x, next) :: tenv) (next + 1) (and_l dependent))))
+      in
+      Treeauto.inter_list (inner :: List.map (comp tenv next) independent)
+    | Forall1 (x, And gs) ->
+      Treeauto.inter_list (List.map (fun g -> comp tenv next (Forall1 (x, g))) gs)
+    | Forall1 (x, g) ->
+      Treeauto.complement
+        (Treeauto.project next
+           (Treeauto.minimize
+              (Treeauto.inter (auto_sing next)
+                 (Treeauto.complement (comp ((x, next) :: tenv) (next + 1) g)))))
+  in
+  let tenv = List.mapi (fun i (v, _) -> (v, i)) env in
+  let next = List.length env in
+
+  let fvs = fv formula in
+  VSet.iter
+    (fun v ->
+      if not (List.mem_assoc v tenv) then
+        invalid_arg (Printf.sprintf "Mso.compile: free variable %s undeclared" v))
+    fvs;
+  let base = comp tenv next formula in
+  (* Enforce singleton-ness of the declared first-order free variables. *)
+  let sing_constraints =
+    List.mapi (fun i (_, k) -> (i, k)) env
+    |> List.filter_map (fun (i, k) -> if k = FO then Some (auto_sing i) else None)
+  in
+  Treeauto.inter_list (base :: sing_constraints)
+
+(* ------------------------------------------------------------------ *)
+(* Solving                                                             *)
+
+type model = {
+  tree : Treeauto.tree;
+  assignment : (var * int list list) list;
+}
+
+let decode env tree =
+  let positions = Treeauto.tree_positions tree in
+  List.mapi
+    (fun i (v, _) ->
+      let paths =
+        List.filter_map
+          (fun (sub, path) ->
+            let label =
+              match sub with
+              | Treeauto.Leaf l -> l
+              | Treeauto.Node (l, _, _) -> l
+            in
+            if Treeauto.label_mem i label then Some path else None)
+          positions
+      in
+      (v, paths))
+    env
+
+let solve env formula =
+  let a = compile env formula in
+  Log.debug (fun m -> m "solve: automaton %a" Treeauto.pp_stats a);
+  match Treeauto.witness a with
+  | None -> None
+  | Some tree -> Some { tree; assignment = decode env tree }
+
+let satisfiable env formula = Option.is_some (solve env formula)
+let valid env formula = not (satisfiable env (not_ formula))
+
+(* ------------------------------------------------------------------ *)
+(* Reference semantics                                                 *)
+
+let eval tree assignment formula =
+  let all_positions = List.map snd (Treeauto.tree_positions tree) in
+  let subtree path =
+    let rec go t = function
+      | [] -> Some t
+      | d :: rest -> (
+        match t with
+        | Treeauto.Leaf _ -> None
+        | Treeauto.Node (_, l, r) -> go (if d = 0 then l else r) rest)
+    in
+    go tree path
+  in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun l -> x :: l) s
+  in
+  let lookup asg v =
+    match List.assoc_opt v asg with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Mso.eval: unbound variable %s" v)
+  in
+  let norm = List.sort_uniq compare in
+  let rec go asg = function
+    | True -> true
+    | False -> false
+    | Sub (a, b) ->
+      let sb = norm (lookup asg b) in
+      List.for_all (fun p -> List.mem p sb) (lookup asg a)
+    | EqSet (a, b) -> norm (lookup asg a) = norm (lookup asg b)
+    | EmptySet a -> lookup asg a = []
+    | Sing a -> List.length (norm (lookup asg a)) = 1
+    | Mem (a, b) -> (
+      match norm (lookup asg a) with
+      | [ p ] -> List.mem p (lookup asg b)
+      | _ -> false)
+    | EqPos (a, b) -> norm (lookup asg a) = norm (lookup asg b)
+    | LeftOf (a, b) -> (
+      match (norm (lookup asg a), norm (lookup asg b)) with
+      | [ pa ], [ pb ] ->
+        pb = pa @ [ 0 ]
+        && (match subtree pa with
+           | Some (Treeauto.Node _) -> true
+           | _ -> false)
+      | _ -> false)
+    | RightOf (a, b) -> (
+      match (norm (lookup asg a), norm (lookup asg b)) with
+      | [ pa ], [ pb ] ->
+        pb = pa @ [ 1 ]
+        && (match subtree pa with
+           | Some (Treeauto.Node _) -> true
+           | _ -> false)
+      | _ -> false)
+    | Root a -> norm (lookup asg a) = [ [] ]
+    | IsNil a -> (
+      match norm (lookup asg a) with
+      | [ p ] -> (
+        match subtree p with Some (Treeauto.Leaf _) -> true | _ -> false)
+      | _ -> false)
+    | Reach (a, b) -> (
+      match (norm (lookup asg a), norm (lookup asg b)) with
+      | [ pa ], [ pb ] ->
+        let rec prefix xs ys =
+          match (xs, ys) with
+          | [], _ -> true
+          | x :: xs', y :: ys' -> x = y && prefix xs' ys'
+          | _ -> false
+        in
+        prefix pa pb
+      | _ -> false)
+    | AgreeAbove (z, strict, incl) -> (
+      match norm (lookup asg z) with
+      | [ pz ] ->
+        let rec prefix xs ys =
+          match (xs, ys) with
+          | [], _ -> true
+          | x :: xs', y :: ys' -> x = y && prefix xs' ys'
+          | _ -> false
+        in
+        let agree pairs v =
+          List.for_all
+            (fun (a, b) ->
+              List.mem v (lookup asg a) = List.mem v (lookup asg b))
+            pairs
+        in
+        List.for_all
+          (fun v ->
+            if v = pz then agree incl v
+            else if prefix v pz then agree (strict @ incl) v
+            else true)
+          all_positions
+      | _ -> false)
+    | Not f -> not (go asg f)
+    | And fs -> List.for_all (go asg) fs
+    | Or fs -> List.exists (go asg) fs
+    | Imp (a, b) -> (not (go asg a)) || go asg b
+    | Iff (a, b) -> go asg a = go asg b
+    | Exists2 (x, f) ->
+      List.exists (fun s -> go ((x, s) :: asg) f) (subsets all_positions)
+    | Forall2 (x, f) ->
+      List.for_all (fun s -> go ((x, s) :: asg) f) (subsets all_positions)
+    | Exists1 (x, f) ->
+      List.exists (fun p -> go ((x, [ p ]) :: asg) f) all_positions
+    | Forall1 (x, f) ->
+      List.for_all (fun p -> go ((x, [ p ]) :: asg) f) all_positions
+  in
+  go assignment formula

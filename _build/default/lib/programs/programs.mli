@@ -1,0 +1,49 @@
+(** The paper's case-study programs (Section 5) in Retreet concrete
+    syntax, with block labels aligning versions for equivalence checks.
+    The same sources are shipped as files under [programs/]. *)
+
+val size_counting : string
+(** Figure 3: mutually recursive [Odd]/[Even], run in parallel. *)
+
+val size_counting_seq : string
+(** The sequential composition [Odd; Even] — the fusion source. *)
+
+val size_counting_fused : string
+(** Figure 6a: the valid fusion. *)
+
+val size_counting_fused_invalid : string
+(** Figure 6b: the invalid fusion (combination before the calls). *)
+
+val tree_mutation_seq : string
+(** Figure 7a after the local-field rewriting: [Swap; IncrmLeft]. *)
+
+val tree_mutation_fused : string
+(** Figure 7b: the fused tree-mutation traversal. *)
+
+val css_minification_seq : string
+(** Figure 8 after left-child/right-sibling binarization. *)
+
+val css_minification_fused : string
+(** The fused single-pass minifier. *)
+
+val cycletree_seq : string
+(** Figure 9: cyclic numbering then routing data, with the per-node
+    routing block factored into the non-recursive [Route] helper. *)
+
+val cycletree_fused : string
+(** The fused cycletree traversal (numbering + routing in one pass). *)
+
+val cycletree_par : string
+(** The racy parallelization of the two cycletree traversals. *)
+
+val racy_writers : string
+(** A deliberately racy toy program (two parallel writers). *)
+
+val parse : string -> Ast.prog
+
+val load : string -> Blocks.t
+(** Parse and check; @raise Invalid_argument on an ill-formed program. *)
+
+val all_named : (string * string) list
+(** Every program above, keyed by the name used by [retreet]'s
+    [builtin:NAME] source syntax. *)

@@ -1,0 +1,1 @@
+lib/transform/mutation.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/transform/mutation.mli: Ast

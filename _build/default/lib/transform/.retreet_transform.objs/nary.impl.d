@@ -1,0 +1,1 @@
+lib/transform/nary.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/transform/nary.mli: Ast

@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Ast List Option Printf Result

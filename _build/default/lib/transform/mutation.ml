@@ -1,0 +1,125 @@
+(** Simulation of tree mutation by local fields (Section 5, tree-mutation
+    case study).
+
+    Retreet forbids mutating the tree topology, so the paper simulates the
+    child-swapping traversal [Swap] with mutable local fields: a boolean
+    field records that a node's children are (logically) exchanged, and
+    every later read of [n.l] becomes a read of [n.r] after branch
+    elimination ("after swapping the siblings of n, [n.lr] is currently
+    true, then [if (n.ll) IncrmLeft(n.l) else if (n.lr) IncrmLeft(n.r)]
+    can be simplified as [IncrmLeft(n.r)]").
+
+    This module mechanizes that preprocessing.  Given downstream
+    traversals written against the {e pre-swap} orientation, it produces a
+    standard Retreet program in which:
+    - a generated [Swap] traversal marks every node with [swapped = 1]
+      (the only observable effect the simulation needs);
+    - every downstream traversal has its directions mirrored (the
+      branch-eliminated simulated reads);
+    - [Main] runs [Swap] first, then the mirrored traversals. *)
+
+let mirror_dir = function Ast.L -> Ast.R | Ast.R -> Ast.L
+
+let mirror_lexpr (le : Ast.lexpr) = List.map mirror_dir le
+
+let rec mirror_aexpr = function
+  | Ast.Num _ as e -> e
+  | Ast.Var _ as e -> e
+  | Ast.Field (p, f) -> Ast.Field (mirror_lexpr p, f)
+  | Ast.Add (a, b) -> Ast.Add (mirror_aexpr a, mirror_aexpr b)
+  | Ast.Sub (a, b) -> Ast.Sub (mirror_aexpr a, mirror_aexpr b)
+
+let rec mirror_bexpr = function
+  | Ast.IsNilB p -> Ast.IsNilB (mirror_lexpr p)
+  | Ast.Gt0 e -> Ast.Gt0 (mirror_aexpr e)
+  | Ast.BTrue -> Ast.BTrue
+  | Ast.NotB b -> Ast.NotB (mirror_bexpr b)
+
+let mirror_assign = function
+  | Ast.SetField (p, f, e) -> Ast.SetField (mirror_lexpr p, f, mirror_aexpr e)
+  | Ast.SetVar (x, e) -> Ast.SetVar (x, mirror_aexpr e)
+  | Ast.Return es -> Ast.Return (List.map mirror_aexpr es)
+
+let mirror_block = function
+  | Ast.Call c ->
+    Ast.Call
+      { c with target = mirror_lexpr c.target;
+               args = List.map mirror_aexpr c.args }
+  | Ast.Straight assigns -> Ast.Straight (List.map mirror_assign assigns)
+
+let rec mirror_stmt = function
+  | Ast.SBlock (l, b) -> Ast.SBlock (l, mirror_block b)
+  | Ast.SIf (c, a, b) -> Ast.SIf (mirror_bexpr c, mirror_stmt a, mirror_stmt b)
+  | Ast.SSeq (a, b) -> Ast.SSeq (mirror_stmt a, mirror_stmt b)
+  | Ast.SPar (a, b) -> Ast.SPar (mirror_stmt a, mirror_stmt b)
+
+let mirror_func (f : Ast.func) = { f with Ast.body = mirror_stmt f.body }
+
+(** The generated swap traversal: marks every node post-order. *)
+let swap_traversal ~(name : string) ~(field : string) : Ast.func =
+  let call target =
+    Ast.SBlock (None, Ast.Call { lhs = []; callee = name; target; args = [] })
+  in
+  {
+    Ast.fname = name;
+    loc_param = "n";
+    int_params = [];
+    body =
+      Ast.SIf
+        ( Ast.IsNilB [],
+          Ast.SBlock
+            (Some (String.lowercase_ascii name ^ "_nil"),
+             Ast.Straight [ Ast.Return [] ]),
+          Ast.SSeq
+            ( Ast.SSeq (call [ Ast.L ], call [ Ast.R ]),
+              Ast.SBlock
+                ( Some (String.lowercase_ascii name ^ "_set"),
+                  Ast.Straight
+                    [ Ast.SetField ([], field, Ast.Num 1); Ast.Return [] ] )
+            ) );
+  }
+
+(** [simulate_swap prog ~downstream] rewrites a program whose [Main] runs
+    the [downstream] traversals (written against the pre-swap orientation)
+    into the local-field simulation: generated [Swap]; mirrored
+    traversals; [Main] = [Swap; downstream...].
+
+    @param swap_name name for the generated traversal (default ["Swap"])
+    @param field the marker field (default ["swapped"]) *)
+let simulate_swap ?(swap_name = "Swap") ?(field = "swapped")
+    (prog : Ast.prog) ~(downstream : string list) :
+    (Ast.prog, string) result =
+  match List.find_opt (fun n -> Ast.find_func prog n = None) downstream with
+  | Some missing -> Error (Printf.sprintf "no function %s" missing)
+  | None ->
+    if Ast.find_func prog swap_name <> None then
+      Error (Printf.sprintf "%s already exists" swap_name)
+    else begin
+      let swap = swap_traversal ~name:swap_name ~field in
+      let funcs =
+        List.map
+          (fun (f : Ast.func) ->
+            if List.mem f.fname downstream then mirror_func f else f)
+          prog.funcs
+      in
+      (* Main: prepend the swap call *)
+      let funcs =
+        List.map
+          (fun (f : Ast.func) ->
+            if f.fname = "Main" then
+              {
+                f with
+                Ast.body =
+                  Ast.SSeq
+                    ( Ast.SBlock
+                        ( Some "mswap",
+                          Ast.Call
+                            { lhs = []; callee = swap_name; target = [];
+                              args = [] } ),
+                      f.body );
+              }
+            else f)
+          funcs
+      in
+      Ok { Ast.funcs = swap :: funcs }
+    end

@@ -1,0 +1,27 @@
+(** Simulation of tree mutation by local fields (the preprocessing of the
+    paper's tree-mutation case study).
+
+    Retreet forbids mutating the tree topology; the paper simulates a
+    child-swapping traversal with a boolean marker field and rewrites
+    later reads of [n.l] into reads of [n.r] after branch elimination.
+    {!simulate_swap} mechanizes that rewriting. *)
+
+val mirror_func : Ast.func -> Ast.func
+(** Swap [l] and [r] in every location expression of a function — the
+    branch-eliminated form of reading through swapped children. *)
+
+val swap_traversal : name:string -> field:string -> Ast.func
+(** The generated marker traversal: sets [field = 1] at every node,
+    post-order. *)
+
+val simulate_swap :
+  ?swap_name:string ->
+  ?field:string ->
+  Ast.prog ->
+  downstream:string list ->
+  (Ast.prog, string) result
+(** Rewrite a program whose [Main] runs the [downstream] traversals
+    (written against the pre-swap orientation) into the local-field
+    simulation: a generated swap traversal (default name ["Swap"], marker
+    field ["swapped"]), mirrored downstream traversals, and [Main]
+    running the swap first. *)

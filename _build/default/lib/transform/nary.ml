@@ -1,0 +1,158 @@
+(** N-ary traversals and their left-child/right-sibling compilation.
+
+    The paper's CSS case study starts from traversals over n-ary syntax
+    trees written in the style
+
+    {v
+    F(n) { if (n == nil) return;
+           for each child p: F(n.p);
+           if (cond) n.f = e }
+    v}
+
+    and converts them by hand: "as the ASTs of CSS programs are typically
+    not binary trees and cannot be handled by Mona directly, we also
+    converted the ASTs to left-child right-sibling binary trees and then
+    simplify the traversals to match Retreet syntax."  This module
+    mechanizes that conversion: an n-ary traversal is described by a
+    {!spec} — a per-node action guarded by a condition, applied before or
+    after the recursive descent over all children — and compiled to a
+    Retreet function over the LCRS encoding ([n.l] = first child, [n.r] =
+    next sibling).
+
+    The compiled traversal visits the first child, then the next sibling —
+    which on the LCRS encoding is exactly "all children, then (as part of
+    the parent's loop) the rest of the list".  Its per-node action fires
+    on every position of the binarized tree, which corresponds to firing
+    on every n-ary node. *)
+
+(** When the per-node action runs relative to the recursive descent. *)
+type order =
+  | Pre  (** action before visiting children *)
+  | Post  (** action after visiting children *)
+
+(** A guarded per-node action: [if (guard) assigns]. *)
+type action = {
+  guard : Ast.bexpr option;  (** [None] = unconditional *)
+  assigns : Ast.assign list;
+  guard_label : string option;  (** label for the action block *)
+  skip_label : string option;  (** label for the empty else branch *)
+}
+
+(** An n-ary traversal: name plus one action. *)
+type spec = {
+  name : string;
+  order : order;
+  action : action;
+}
+
+(** Compile a spec to a Retreet function over the LCRS encoding. *)
+let compile (s : spec) : Ast.func =
+  let call target =
+    Ast.SBlock
+      (None, Ast.Call { lhs = []; callee = s.name; target; args = [] })
+  in
+  let action_stmt =
+    let work =
+      Ast.SBlock
+        (s.action.guard_label, Ast.Straight (s.action.assigns @ [ Ast.Return [] ]))
+    in
+    match s.action.guard with
+    | None -> work
+    | Some g ->
+      Ast.SIf
+        ( g,
+          work,
+          Ast.SBlock (s.action.skip_label, Ast.Straight [ Ast.Return [] ]) )
+  in
+  (* first child then next sibling: the full child list of the n-ary node *)
+  let descent = Ast.SSeq (call [ Ast.L ], call [ Ast.R ]) in
+  let body =
+    match s.order with
+    | Post -> Ast.SSeq (descent, action_stmt)
+    | Pre -> Ast.SSeq (action_stmt, descent)
+  in
+  {
+    Ast.fname = s.name;
+    loc_param = "n";
+    int_params = [];
+    body =
+      Ast.SIf
+        ( Ast.IsNilB [],
+          Ast.SBlock
+            ( Some (String.lowercase_ascii s.name ^ "_nil"),
+              Ast.Straight [ Ast.Return [] ] ),
+          body );
+  }
+
+(** Compile a pipeline of n-ary traversals into a full Retreet program:
+    [Main] runs them sequentially on the root. *)
+let compile_pipeline (specs : spec list) : Ast.prog =
+  let funcs = List.map compile specs in
+  let main_body =
+    let calls =
+      List.mapi
+        (fun i (s : spec) ->
+          Ast.SBlock
+            ( Some (Printf.sprintf "m%d" i),
+              Ast.Call { lhs = []; callee = s.name; target = []; args = [] } ))
+        specs
+    in
+    let ret =
+      Ast.SBlock (Some "mret", Ast.Straight [ Ast.Return [] ])
+    in
+    List.fold_right
+      (fun s acc -> Ast.SSeq (s, acc))
+      calls ret
+  in
+  {
+    Ast.funcs =
+      funcs
+      @ [ { Ast.fname = "Main"; loc_param = "n"; int_params = []; body = main_body } ];
+  }
+
+(** The paper's three CSS minification traversals as n-ary specs (compare
+    [Programs.css_minification_seq], which is their hand-converted
+    form). *)
+let css_specs : spec list =
+  [
+    {
+      name = "ConvertValues";
+      order = Post;
+      action =
+        {
+          guard = Some (Ast.Gt0 (Ast.Field ([], "kind")));
+          assigns =
+            [ Ast.SetField ([], "value",
+                Ast.Sub (Ast.Field ([], "value"), Ast.Num 1)) ];
+          guard_label = Some "cvset";
+          skip_label = Some "cvskip";
+        };
+    };
+    {
+      name = "MinifyFont";
+      order = Post;
+      action =
+        {
+          guard = Some (Ast.Gt0 (Ast.Field ([], "prop")));
+          assigns =
+            [ Ast.SetField ([], "value",
+                Ast.Sub (Ast.Field ([], "value"), Ast.Num 2)) ];
+          guard_label = Some "mfset";
+          skip_label = Some "mfskip";
+        };
+    };
+    {
+      name = "ReduceInit";
+      order = Post;
+      action =
+        {
+          guard =
+            Some (Ast.Gt0 (Ast.Sub (Ast.Field ([], "value"), Ast.Num 7)));
+          assigns =
+            [ Ast.SetField ([], "value",
+                Ast.Sub (Ast.Field ([], "value"), Ast.Num 7)) ];
+          guard_label = Some "riset";
+          skip_label = Some "riskip";
+        };
+    };
+  ]

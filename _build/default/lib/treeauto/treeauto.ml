@@ -1,0 +1,424 @@
+let src = Logs.Src.create "retreet.treeauto" ~doc:"Tree automata"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type state = int
+type label = int list
+
+type tree =
+  | Leaf of label
+  | Node of label * tree * tree
+
+type t = {
+  nstates : int;
+  leaf : Mtbdd.t;
+  delta : Mtbdd.t array array;
+  accept : bool array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Labels and trees                                                    *)
+
+let label_mem v (l : label) = List.mem v l
+
+let label_of_bits bits =
+  bits
+  |> List.filter_map (fun (v, b) -> if b then Some v else None)
+  |> List.sort_uniq Int.compare
+
+let rho_of_label (l : label) v = label_mem v l
+
+let rec pp_tree ppf = function
+  | Leaf l -> Fmt.pf ppf "leaf%a" Fmt.(Dump.list int) l
+  | Node (l, tl, tr) ->
+    Fmt.pf ppf "@[<hv 2>node%a(@,%a,@ %a)@]" Fmt.(Dump.list int) l pp_tree tl
+      pp_tree tr
+
+let rec equal_tree a b =
+  match (a, b) with
+  | Leaf l1, Leaf l2 -> l1 = l2
+  | Node (l1, a1, b1), Node (l2, a2, b2) ->
+    l1 = l2 && equal_tree a1 a2 && equal_tree b1 b2
+  | _ -> false
+
+let tree_positions t =
+  let rec go path acc t =
+    let acc = (t, List.rev path) :: acc in
+    match t with
+    | Leaf _ -> acc
+    | Node (_, tl, tr) -> go (1 :: path) (go (0 :: path) acc tl) tr
+  in
+  go [] [] t
+
+(* ------------------------------------------------------------------ *)
+(* Generic reachability-driven construction.
+
+   States are arbitrary integer codes; [delta] is demanded only on pairs of
+   codes that are bottom-up reachable, and the result is densely
+   renumbered.  Every state of the result is realized by some tree. *)
+
+let explore ~(leaf : Mtbdd.t) ~(delta : int -> int -> Mtbdd.t)
+    ~(accept : int -> bool) : t =
+  let code_of = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let ncodes = ref 0 in
+  let register c =
+    if not (Hashtbl.mem code_of c) then begin
+      Hashtbl.add code_of c !ncodes;
+      incr ncodes;
+      Queue.add c queue
+    end
+  in
+  List.iter register (Mtbdd.terminals leaf);
+  let pair_tbl : (int * int, Mtbdd.t) Hashtbl.t = Hashtbl.create 256 in
+  (* Closure loop: process codes in discovery order; for each new code,
+     combine with every code seen so far (including itself). *)
+  let processed = ref [] in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    let partners = c :: !processed in
+    List.iter
+      (fun d ->
+        List.iter
+          (fun (x, y) ->
+            if not (Hashtbl.mem pair_tbl (x, y)) then begin
+              let m = delta x y in
+              Hashtbl.add pair_tbl (x, y) m;
+              List.iter register (Mtbdd.terminals m)
+            end)
+          [ (c, d); (d, c) ])
+      partners;
+    processed := c :: !processed
+  done;
+  let n = !ncodes in
+  let dense = Array.make n 0 in
+  Hashtbl.iter (fun code id -> dense.(id) <- code) code_of;
+  let remap = Mtbdd.map_nocache (fun c -> Hashtbl.find code_of c) in
+  let delta_arr =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            remap (Hashtbl.find pair_tbl (dense.(i), dense.(j)))))
+  in
+  {
+    nstates = n;
+    leaf = remap leaf;
+    delta = delta_arr;
+    accept = Array.init n (fun i -> accept dense.(i));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Explicit construction                                               *)
+
+let mtbdd_of_cases cases =
+  match List.rev cases with
+  | [] -> invalid_arg "Treeauto.make: empty transition table"
+  | (last_guard, last_state) :: rev_prefix ->
+    if not (Bdd.is_top last_guard) then
+      invalid_arg "Treeauto.make: final guard must be Bdd.top (completeness)";
+    List.fold_left
+      (fun acc (g, q) -> Mtbdd.ite g (Mtbdd.const q) acc)
+      (Mtbdd.const last_state) rev_prefix
+
+let make ~nstates ~leaf ~delta ~accept =
+  if nstates <= 0 then invalid_arg "Treeauto.make: nstates must be positive";
+  explore
+    ~leaf:(mtbdd_of_cases leaf)
+    ~delta:(fun q1 q2 -> mtbdd_of_cases (delta q1 q2))
+    ~accept
+
+let const b =
+  make ~nstates:1
+    ~leaf:[ (Bdd.top, 0) ]
+    ~delta:(fun _ _ -> [ (Bdd.top, 0) ])
+    ~accept:(fun _ -> b)
+
+(* ------------------------------------------------------------------ *)
+(* Boolean combinations via on-the-fly product                          *)
+
+let product f a b =
+  let nb = b.nstates in
+  let code p q = (p * nb) + q in
+  let pair = Mtbdd.combiner code in
+  let leaf = pair a.leaf b.leaf in
+  let delta c1 c2 =
+    let p1 = c1 / nb and q1 = c1 mod nb in
+    let p2 = c2 / nb and q2 = c2 mod nb in
+    pair a.delta.(p1).(p2) b.delta.(q1).(q2)
+  in
+  let accept c = f a.accept.(c / nb) b.accept.(c mod nb) in
+  explore ~leaf ~delta ~accept
+
+(* Cumulative operation statistics, for performance diagnosis. *)
+let stats : (string, float * int) Hashtbl.t = Hashtbl.create 8
+
+let timed ?detail name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let acc, n = try Hashtbl.find stats name with Not_found -> (0., 0) in
+  Hashtbl.replace stats name (acc +. dt, n + 1);
+  if dt > 0.2 then
+    Log.debug (fun m ->
+        m "slow %s: %.2fs%s" name dt
+          (match detail with None -> "" | Some d -> " " ^ d ()));
+  r
+
+let pp_op_stats ppf () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats []
+  |> List.sort compare
+  |> List.iter (fun (k, (t, n)) -> Fmt.pf ppf "%s: %.2fs over %d calls@." k t n)
+
+let reset_op_stats () = Hashtbl.reset stats
+
+let detail2 a b r () =
+  Printf.sprintf "%dx%d->%d" a.nstates b.nstates r.nstates
+
+let binop name f a b =
+  if a.nstates * b.nstates > 2000 then
+    Log.debug (fun m -> m "start %s: %dx%d" name a.nstates b.nstates);
+  let r = ref None in
+  let run () =
+    let x = product f a b in
+    r := Some x;
+    x
+  in
+  timed ~detail:(fun () -> detail2 a b (Option.get !r) ()) name run
+
+let inter a b = binop "inter" ( && ) a b
+let union a b = binop "union" ( || ) a b
+let diff a b = binop "diff" (fun x y -> x && not y) a b
+let complement a = { a with accept = Array.map not a.accept }
+
+(* ------------------------------------------------------------------ *)
+(* Minimization (Moore partition refinement)                            *)
+
+let minimize a =
+ if a.nstates > 200 then Log.debug (fun m -> m "start minimize: %d states" a.nstates);
+ timed ~detail:(fun () -> string_of_int a.nstates) "minimize" @@ fun () ->
+  let n = a.nstates in
+  if n <= 1 then a
+  else begin
+    let cls = Array.init n (fun q -> if a.accept.(q) then 1 else 0) in
+    let nclasses = ref 2 in
+    (* If all states agree on acceptance there is a single class. *)
+    if Array.for_all (fun q -> q = cls.(0)) cls then begin
+      Array.fill cls 0 n 0;
+      nclasses := 1
+    end;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* Map every transition MTBDD through the current class assignment,
+         memoized by diagram identity for this iteration. *)
+      let mapped = Hashtbl.create 256 in
+      let map_cls m =
+        match Hashtbl.find_opt mapped (Mtbdd.hash m) with
+        | Some r -> r
+        | None ->
+          let r = Mtbdd.map_nocache (fun q -> cls.(q)) m in
+          Hashtbl.add mapped (Mtbdd.hash m) r;
+          r
+      in
+      let signature q =
+        let row =
+          List.init n (fun q2 ->
+              ( Mtbdd.hash (map_cls a.delta.(q).(q2)),
+                Mtbdd.hash (map_cls a.delta.(q2).(q)) ))
+        in
+        (cls.(q), row)
+      in
+      let sig_tbl = Hashtbl.create 64 in
+      let next = Array.make n 0 in
+      let count = ref 0 in
+      for q = 0 to n - 1 do
+        let s = signature q in
+        match Hashtbl.find_opt sig_tbl s with
+        | Some c -> next.(q) <- c
+        | None ->
+          Hashtbl.add sig_tbl s !count;
+          next.(q) <- !count;
+          incr count
+      done;
+      if !count <> !nclasses then begin
+        changed := true;
+        nclasses := !count
+      end;
+      Array.blit next 0 cls 0 n
+    done;
+    let k = !nclasses in
+    if k = n then a
+    else begin
+      let rep = Array.make k (-1) in
+      for q = n - 1 downto 0 do
+        rep.(cls.(q)) <- q
+      done;
+      let remap = Mtbdd.map_nocache (fun q -> cls.(q)) in
+      {
+        nstates = k;
+        leaf = remap a.leaf;
+        delta =
+          Array.init k (fun c1 ->
+              Array.init k (fun c2 -> remap a.delta.(rep.(c1)).(rep.(c2))));
+        accept = Array.init k (fun c -> a.accept.(rep.(c)));
+      }
+    end
+  end
+
+(* Combine many automata with a smallest-first strategy: repeatedly merge
+   the two smallest operands.  Balanced merging keeps intermediate
+   products small — a single large accumulator meeting every further
+   constraint is the main blow-up mode for big conjunctions. *)
+let balanced op neutral autos =
+  let module H = struct
+    let insert l a = List.sort (fun x y -> Int.compare x.nstates y.nstates) (a :: l)
+  end in
+  match autos with
+  | [] -> neutral
+  | [ a ] -> a
+  | _ ->
+    let rec go = function
+      | [] -> neutral
+      | [ a ] -> a
+      | a :: b :: rest -> go (H.insert rest (minimize (op a b)))
+    in
+    go (List.sort (fun x y -> Int.compare x.nstates y.nstates) autos)
+
+let inter_list autos =
+  (* short-circuit once some operand is already empty *)
+  if List.exists (fun a -> not (Array.exists Fun.id a.accept)) autos then
+    const false
+  else balanced inter (const true) autos
+
+let union_list autos = balanced union (const false) autos
+
+(* ------------------------------------------------------------------ *)
+(* Projection (existential quantification of one track)                 *)
+
+let project v a =
+ if a.nstates > 60 then Log.debug (fun m -> m "start project: %d states" a.nstates);
+ timed "project" @@ fun () ->
+  (* State sets are hash-consed into integer codes. *)
+  let set_ids : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let sets : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let nsets = ref 0 in
+  let set_code s =
+    match Hashtbl.find_opt set_ids s with
+    | Some c -> c
+    | None ->
+      let c = !nsets in
+      incr nsets;
+      Hashtbl.add set_ids s c;
+      Hashtbl.add sets c s;
+      c
+  in
+  let set_of c = Hashtbl.find sets c in
+  let union_codes c1 c2 =
+    if c1 = c2 then c1
+    else
+      set_code
+        (List.sort_uniq Int.compare (List.rev_append (set_of c1) (set_of c2)))
+  in
+  let singleton q = set_code [ q ] in
+  let union_sets = Mtbdd.combiner union_codes in
+  (* Erase track [v]: the two cofactors become a nondeterministic choice. *)
+  let erase m =
+    let as_sets b = Mtbdd.map_nocache singleton (Mtbdd.restrict m v b) in
+    union_sets (as_sets false) (as_sets true)
+  in
+  let leaf = erase a.leaf in
+  let erased_pairs = Hashtbl.create 256 in
+  let erased q1 q2 =
+    match Hashtbl.find_opt erased_pairs (q1, q2) with
+    | Some m -> m
+    | None ->
+      let m = erase a.delta.(q1).(q2) in
+      Hashtbl.add erased_pairs (q1, q2) m;
+      m
+  in
+  let bottom = set_code [] in
+  let delta c1 c2 =
+    let s1 = set_of c1 and s2 = set_of c2 in
+    List.fold_left
+      (fun acc q1 ->
+        List.fold_left
+          (fun acc q2 -> union_sets acc (erased q1 q2))
+          acc s2)
+      (Mtbdd.const bottom) s1
+  in
+  let accept c = List.exists (fun q -> a.accept.(q)) (set_of c) in
+  let result = explore ~leaf ~delta ~accept in
+  minimize result
+
+(* ------------------------------------------------------------------ *)
+(* Decision procedures                                                  *)
+
+let is_empty a = not (Array.exists Fun.id a.accept)
+
+let complete_label bits = label_of_bits bits
+
+let witness a =
+  let n = a.nstates in
+  let wit : tree option array = Array.make n None in
+  List.iter
+    (fun q ->
+      match Mtbdd.find_terminal a.leaf q with
+      | Some bits -> wit.(q) <- Some (Leaf (complete_label bits))
+      | None -> ())
+    (Mtbdd.terminals a.leaf);
+  (* Round-based closure so the first witness found has minimal height. *)
+  let have_accepting_witness () =
+    Array.exists2 (fun acc w -> acc && w <> None) a.accept wit
+  in
+  let changed = ref true in
+  while !changed && not (have_accepting_witness ()) do
+    changed := false;
+    let snapshot = Array.copy wit in
+    for q1 = 0 to n - 1 do
+      for q2 = 0 to n - 1 do
+        match (snapshot.(q1), snapshot.(q2)) with
+        | Some w1, Some w2 ->
+          List.iter
+            (fun q ->
+              if wit.(q) = None then
+                match Mtbdd.find_terminal a.delta.(q1).(q2) q with
+                | Some bits ->
+                  wit.(q) <- Some (Node (complete_label bits, w1, w2));
+                  changed := true
+                | None -> ())
+            (Mtbdd.terminals a.delta.(q1).(q2))
+        | _ -> ()
+      done
+    done
+  done;
+  let rec find q =
+    if q >= n then None
+    else if a.accept.(q) then
+      match wit.(q) with Some w -> Some w | None -> find (q + 1)
+    else find (q + 1)
+  in
+  find 0
+
+let run a tree =
+  let rec go = function
+    | Leaf l -> Mtbdd.eval (rho_of_label l) a.leaf
+    | Node (l, tl, tr) ->
+      let ql = go tl and qr = go tr in
+      Mtbdd.eval (rho_of_label l) a.delta.(ql).(qr)
+  in
+  go tree
+
+let accepts a tree = a.accept.(run a tree)
+let size a = a.nstates
+
+let pp_stats ppf a =
+  let edges =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun acc m -> acc + Mtbdd.size m) acc row)
+      0 a.delta
+  in
+  Fmt.pf ppf "states=%d accepting=%d mtbdd-nodes=%d" a.nstates
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a.accept)
+    edges
+
+let () = ignore Log.debug

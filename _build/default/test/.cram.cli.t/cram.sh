@@ -1,0 +1,13 @@
+  $ retreet check builtin:size_counting | head -4
+  $ retreet run builtin:size_counting --tree complete:3 | head -2
+  $ retreet run builtin:racy_writers --tree complete:2 | grep -o 'dynamic races observed: [0-9]*'
+  $ retreet baseline builtin:size_counting Odd Even
+  $ retreet baseline builtin:css_minification_seq ConvertValues ReduceInit
+  $ retreet fuse builtin:css_minification_seq --traversals ConvertValues,MinifyFont,ReduceInit | grep 'block map'
+  $ retreet mona builtin:size_counting -o query.mona
+  $ head -2 query.mona
+  $ cat > bad.retreet <<'SRC'
+  > F(n) { x = F(n); return x }
+  > Main(n) { y = F(n); return y }
+  > SRC
+  $ retreet check bad.retreet 2>&1 | grep -o 'same-node recursion'

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Blocks Explore Heap Interp List Programs Random Sys Transform Wf

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Lia Lin List QCheck2 QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd List Mtbdd QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Ast Blocks Encode Fun Hashtbl Heap Interp Lia List Mso Programs Random Symexec Treeauto

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ast Explore Heap Interp List Parser Printf Programs Random Wf

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Blocks Filename Fmt Int Lexer Lia Lin List Option Parser Printf Programs Rw String Symexec Sys Wf

@@ -1,0 +1,1 @@
+test/test_mso.ml: Alcotest Fun Int List Mso QCheck2 QCheck_alcotest Treeauto

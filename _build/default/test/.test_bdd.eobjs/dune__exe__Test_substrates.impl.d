@@ -1,0 +1,1 @@
+test/test_substrates.ml: Alcotest Css_ast Css_lcrs Css_minify Css_parser Cycletree Heap Interp List Mona Mso Programs QCheck2 QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Ast Baseline Blocks Heap Interp List Mutation Nary Option Programs Random Rw Transform Wf

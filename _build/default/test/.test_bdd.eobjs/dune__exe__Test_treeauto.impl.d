@@ -1,0 +1,1 @@
+test/test_treeauto.ml: Alcotest Array Bdd Int List QCheck2 QCheck_alcotest Treeauto

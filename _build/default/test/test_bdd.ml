@@ -1,0 +1,168 @@
+(* Tests for the ROBDD and MTBDD substrates: canonicity, boolean laws,
+   quantification, and agreement with a reference evaluator. *)
+
+let nvars = 5
+
+(* A tiny reference representation: boolean formulas evaluated directly. *)
+type form =
+  | FVar of int
+  | FNot of form
+  | FAnd of form * form
+  | FOr of form * form
+  | FXor of form * form
+  | FTrue
+  | FFalse
+
+let rec feval rho = function
+  | FVar v -> rho v
+  | FNot f -> not (feval rho f)
+  | FAnd (a, b) -> feval rho a && feval rho b
+  | FOr (a, b) -> feval rho a || feval rho b
+  | FXor (a, b) -> feval rho a <> feval rho b
+  | FTrue -> true
+  | FFalse -> false
+
+let rec to_bdd = function
+  | FVar v -> Bdd.var v
+  | FNot f -> Bdd.neg (to_bdd f)
+  | FAnd (a, b) -> Bdd.conj (to_bdd a) (to_bdd b)
+  | FOr (a, b) -> Bdd.disj (to_bdd a) (to_bdd b)
+  | FXor (a, b) -> Bdd.xor (to_bdd a) (to_bdd b)
+  | FTrue -> Bdd.top
+  | FFalse -> Bdd.bot
+
+let form_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map (fun v -> FVar v) (int_bound (nvars - 1));
+            return FTrue; return FFalse ]
+      else
+        oneof
+          [ map (fun v -> FVar v) (int_bound (nvars - 1));
+            map (fun f -> FNot f) (self (n - 1));
+            map2 (fun a b -> FAnd (a, b)) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> FOr (a, b)) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> FXor (a, b)) (self (n / 2)) (self (n / 2)) ])
+
+let valuations =
+  let rec go k =
+    if k = 0 then [ [] ]
+    else
+      let rest = go (k - 1) in
+      List.concat_map (fun v -> [ true :: v; false :: v ]) rest
+  in
+  go nvars |> List.map (fun bits v -> List.nth bits v)
+
+let prop_eval_agrees =
+  QCheck2.Test.make ~name:"bdd eval agrees with reference" ~count:300 form_gen
+    (fun f ->
+      let b = to_bdd f in
+      List.for_all (fun rho -> Bdd.eval rho b = feval rho f) valuations)
+
+let prop_canonical =
+  QCheck2.Test.make ~name:"semantic equality implies physical equality"
+    ~count:300
+    QCheck2.Gen.(pair form_gen form_gen)
+    (fun (f, g) ->
+      let bf = to_bdd f and bg = to_bdd g in
+      let sem_eq =
+        List.for_all (fun rho -> feval rho f = feval rho g) valuations
+      in
+      sem_eq = Bdd.equal bf bg)
+
+let prop_de_morgan =
+  QCheck2.Test.make ~name:"de morgan" ~count:200
+    QCheck2.Gen.(pair form_gen form_gen)
+    (fun (f, g) ->
+      let a = to_bdd f and b = to_bdd g in
+      Bdd.equal (Bdd.neg (Bdd.conj a b)) (Bdd.disj (Bdd.neg a) (Bdd.neg b)))
+
+let prop_exists =
+  QCheck2.Test.make ~name:"exists = disj of cofactors semantically" ~count:200
+    QCheck2.Gen.(pair form_gen (int_bound (nvars - 1)))
+    (fun (f, v) ->
+      let b = to_bdd f in
+      let e = Bdd.exists v b in
+      List.for_all
+        (fun rho ->
+          let set value x = if x = v then value else rho x in
+          Bdd.eval rho e = (feval (set false) f || feval (set true) f))
+        valuations)
+
+let prop_any_sat =
+  QCheck2.Test.make ~name:"any_sat returns a satisfying assignment" ~count:300
+    form_gen (fun f ->
+      let b = to_bdd f in
+      match Bdd.any_sat b with
+      | None -> Bdd.is_bot b
+      | Some partial ->
+        let rho v =
+          match List.assoc_opt v partial with Some x -> x | None -> false
+        in
+        Bdd.eval rho b)
+
+let prop_sat_count =
+  QCheck2.Test.make ~name:"sat_count agrees with enumeration" ~count:200
+    form_gen (fun f ->
+      let b = to_bdd f in
+      let expected =
+        List.length (List.filter (fun rho -> feval rho f) valuations)
+      in
+      int_of_float (Bdd.sat_count ~nvars b) = expected)
+
+let test_units () =
+  Alcotest.(check bool) "top is top" true (Bdd.is_top Bdd.top);
+  Alcotest.(check bool) "x and not x" true
+    (Bdd.is_bot (Bdd.conj (Bdd.var 0) (Bdd.nvar 0)));
+  Alcotest.(check bool) "x or not x" true
+    (Bdd.is_top (Bdd.disj (Bdd.var 0) (Bdd.nvar 0)));
+  Alcotest.(check (list int)) "support" [ 0; 2 ]
+    (Bdd.support (Bdd.conj (Bdd.var 0) (Bdd.var 2)));
+  Alcotest.(check bool) "restrict" true
+    (Bdd.equal (Bdd.restrict (Bdd.conj (Bdd.var 0) (Bdd.var 1)) 0 true)
+       (Bdd.var 1))
+
+let test_mtbdd_units () =
+  let m = Mtbdd.ite (Bdd.var 0) (Mtbdd.const 1) (Mtbdd.const 2) in
+  Alcotest.(check int) "eval hi" 1 (Mtbdd.eval (fun _ -> true) m);
+  Alcotest.(check int) "eval lo" 2 (Mtbdd.eval (fun _ -> false) m);
+  Alcotest.(check (list int)) "terminals" [ 1; 2 ] (Mtbdd.terminals m);
+  let g = Mtbdd.guard_of m 1 in
+  Alcotest.(check bool) "guard_of" true (Bdd.equal g (Bdd.var 0));
+  let sum = Mtbdd.apply2 ~tag:100 ( + ) m m in
+  Alcotest.(check (list int)) "apply2" [ 2; 4 ] (Mtbdd.terminals sum);
+  match Mtbdd.find_terminal m 2 with
+  | Some [ (0, false) ] -> ()
+  | _ -> Alcotest.fail "find_terminal"
+
+let prop_mtbdd_ite =
+  QCheck2.Test.make ~name:"mtbdd ite agrees with bdd guard" ~count:200
+    QCheck2.Gen.(triple form_gen (int_bound 7) (int_bound 7))
+    (fun (f, x, y) ->
+      let g = to_bdd f in
+      let m = Mtbdd.ite g (Mtbdd.const x) (Mtbdd.const y) in
+      List.for_all
+        (fun rho ->
+          Mtbdd.eval rho m = if Bdd.eval rho g then x else y)
+        valuations)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "bdd"
+    [
+      ( "bdd",
+        [
+          Alcotest.test_case "units" `Quick test_units;
+          qt prop_eval_agrees;
+          qt prop_canonical;
+          qt prop_de_morgan;
+          qt prop_exists;
+          qt prop_any_sat;
+          qt prop_sat_count;
+        ] );
+      ( "mtbdd",
+        [ Alcotest.test_case "units" `Quick test_mtbdd_units; qt prop_mtbdd_ite ]
+      );
+    ]

@@ -1,0 +1,298 @@
+(* Tests for the MSO-over-trees decision procedure: the compiled automata
+   must agree with the direct (reference) evaluator, and classic validities
+   of the logic must be decided correctly. *)
+
+open Mso
+
+(* --- random formulas over a fixed variable universe --- *)
+
+let so_vars = [ "X"; "Y" ]
+let fo_vars = [ "x"; "y" ]
+
+let env : env = [ ("X", SO); ("Y", SO); ("x", FO); ("y", FO) ]
+
+let atom_gen =
+  QCheck2.Gen.(
+    let so = oneofl so_vars and fo = oneofl fo_vars in
+    oneof
+      [
+        map2 (fun a b -> Sub (a, b)) so so;
+        map2 (fun a b -> EqSet (a, b)) so so;
+        map (fun a -> EmptySet a) so;
+        map (fun a -> Sing a) so;
+        map2 (fun a b -> Mem (a, b)) fo so;
+        map2 (fun a b -> EqPos (a, b)) fo fo;
+        map2 (fun a b -> LeftOf (a, b)) fo fo;
+        map2 (fun a b -> RightOf (a, b)) fo fo;
+        map (fun a -> Root a) fo;
+        map (fun a -> IsNil a) fo;
+        map2 (fun a b -> Reach (a, b)) fo fo;
+        return True;
+        return False;
+      ])
+
+let formula_gen =
+  QCheck2.Gen.(
+    sized_size (int_bound 4) @@ fix (fun self n ->
+        if n <= 0 then atom_gen
+        else
+          oneof
+            [
+              atom_gen;
+              map (fun f -> Not f) (self (n - 1));
+              map2 (fun a b -> And [ a; b ]) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Or [ a; b ]) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Imp (a, b)) (self (n / 2)) (self (n / 2));
+              (* quantifiers over fresh names to keep eval cheap *)
+              map (fun f -> Exists1 ("q", f))
+                (map
+                   (fun f -> Or [ f; Root "q" ])
+                   (self (n - 1)));
+              map (fun f -> Forall1 ("q", f))
+                (map (fun f -> Or [ f; IsNil "q" ]) (self (n - 1)));
+              map (fun f -> Exists2 ("Q", f))
+                (map (fun f -> And [ f; EmptySet "Q" ]) (self (n - 1)));
+            ]))
+
+(* random shapes up to 7 positions *)
+let shape_gen =
+  QCheck2.Gen.(
+    sized_size (int_bound 3) @@ fix (fun self n ->
+        if n <= 0 then return (Treeauto.Leaf [])
+        else
+          oneof
+            [
+              return (Treeauto.Leaf []);
+              map2
+                (fun a b -> Treeauto.Node ([], a, b))
+                (self (n / 2))
+                (self (n / 2));
+            ]))
+
+(* Assign each declared variable a random set of positions (singleton for
+   first-order variables); returns the assignment and the labelled tree. *)
+let assignment_gen shape =
+  let open QCheck2.Gen in
+  let positions = List.map snd (Treeauto.tree_positions shape) in
+  let subset = List.filter_map Fun.id in
+  let pick_set =
+    flatten_l
+      (List.map (fun p -> map (fun b -> if b then Some p else None) bool)
+         positions)
+    >|= subset
+  in
+  let pick_pos = oneofl positions >|= fun p -> [ p ] in
+  let* sx = pick_set and* sy = pick_set in
+  let* px = pick_pos and* py = pick_pos in
+  return [ ("X", sx); ("Y", sy); ("x", px); ("y", py) ]
+
+let relabel shape assignment =
+  let track v = match v with "X" -> 0 | "Y" -> 1 | "x" -> 2 | "y" -> 3 | _ -> -1 in
+  let label_at path =
+    List.filter_map
+      (fun (v, set) -> if List.mem path set then Some (track v) else None)
+      assignment
+    |> List.sort_uniq Int.compare
+  in
+  let rec go path = function
+    | Treeauto.Leaf _ -> Treeauto.Leaf (label_at (List.rev path))
+    | Treeauto.Node (_, a, b) ->
+      Treeauto.Node (label_at (List.rev path), go (0 :: path) a, go (1 :: path) b)
+  in
+  go [] shape
+
+let case_gen =
+  QCheck2.Gen.(
+    let* f = formula_gen in
+    let* shape = shape_gen in
+    let* asg = assignment_gen shape in
+    return (f, shape, asg))
+
+let prop_compile_agrees_with_eval =
+  QCheck2.Test.make ~name:"compiled automaton agrees with evaluator"
+    ~count:400 case_gen (fun (f, shape, asg) ->
+      let labelled = relabel shape asg in
+      let auto = compile env f in
+      Treeauto.accepts auto labelled = eval shape asg f)
+
+(* --- validities --- *)
+
+let fo_env vars : env = List.map (fun v -> (v, FO)) vars
+
+let check_valid name f e = Alcotest.(check bool) name true (valid e f)
+let check_sat name f e = Alcotest.(check bool) name true (satisfiable e f)
+let check_unsat name f e = Alcotest.(check bool) name false (satisfiable e f)
+
+let test_validities () =
+  check_valid "reach reflexive" (Forall1 ("x", Reach ("x", "x"))) [];
+  check_valid "reach transitive"
+    (forall1_many [ "x"; "y"; "z" ]
+       (imp (and_l [ Reach ("x", "y"); Reach ("y", "z") ]) (Reach ("x", "z"))))
+    [];
+  check_valid "left implies proper reach"
+    (forall1_many [ "x"; "y" ]
+       (imp (LeftOf ("x", "y"))
+          (and_l [ Reach ("x", "y"); not_ (EqPos ("x", "y")) ])))
+    [];
+  check_valid "unique root"
+    (Exists1 ("x", And [ Root "x"; Forall1 ("y", imp (Root "y") (EqPos ("x", "y"))) ]))
+    [];
+  check_valid "root reaches everything"
+    (forall1_many [ "x"; "y" ] (imp (Root "x") (Reach ("x", "y"))))
+    [];
+  check_valid "children are ordered"
+    (forall1_many [ "x"; "y"; "z" ]
+       (imp (and_l [ LeftOf ("x", "y"); RightOf ("x", "z") ])
+          (not_ (EqPos ("y", "z")))))
+    []
+
+let test_satisfiability () =
+  check_sat "a nil node exists" (Exists1 ("x", IsNil "x")) [];
+  check_unsat "nil with a left child"
+    (exists1_many [ "x"; "y" ] (and_l [ IsNil "x"; LeftOf ("x", "y") ]))
+    [];
+  check_sat "internal node possible"
+    (Exists1 ("x", not_ (IsNil "x")))
+    [];
+  check_unsat "single position tree is a leaf, root cannot be internal and childless"
+    (Exists1 ("x", and_l [ not_ (IsNil "x");
+                           Forall1 ("y", EqPos ("x", "y")) ]))
+    [];
+  (* free variables *)
+  check_sat "free SO var can hold all nils"
+    (Forall1 ("u", iff (Mem ("u", "X")) (IsNil "u")))
+    [ ("X", SO) ];
+  check_unsat "x below and above y strictly"
+    (and_l
+       [ Reach ("x", "y"); Reach ("y", "x"); not_ (EqPos ("x", "y")) ])
+    (fo_env [ "x"; "y" ])
+
+let test_witness_decoding () =
+  (* X = set of nil positions, plus force at least one internal node: the
+     minimal witness is a root with two nil children. *)
+  let f =
+    and_l
+      [
+        Forall1 ("u", iff (Mem ("u", "X")) (IsNil "u"));
+        Exists1 ("u", not_ (IsNil "u"));
+      ]
+  in
+  match solve [ ("X", SO) ] f with
+  | None -> Alcotest.fail "expected satisfiable"
+  | Some { tree; assignment } ->
+    let nils =
+      List.filter
+        (fun (t, _) -> match t with Treeauto.Leaf _ -> true | _ -> false)
+        (Treeauto.tree_positions tree)
+      |> List.map snd |> List.sort compare
+    in
+    let x_set = List.sort compare (List.assoc "X" assignment) in
+    Alcotest.(check bool) "X = nils" true (x_set = nils);
+    Alcotest.(check bool) "has internal" true
+      (match tree with Treeauto.Node _ -> true | _ -> false)
+
+let test_paper_isnil_axiom () =
+  (* In the paper's infinite-tree phrasing, isNil is closed downward.  In the
+     finite-tree semantics, nil nodes simply have no children; check the
+     corresponding statement: no position below a nil. *)
+  check_valid "nothing strictly below a nil"
+    (forall1_many [ "x"; "y" ]
+       (imp (and_l [ IsNil "x"; Reach ("x", "y") ]) (EqPos ("x", "y"))))
+    []
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "and_l folds false" true (and_l [ True; False ] = False);
+  Alcotest.(check bool) "or_l folds true" true (or_l [ False; True ] = True);
+  Alcotest.(check bool) "and_l single" true (and_l [ Sing "X" ] = Sing "X");
+  Alcotest.(check bool) "not_ involutive" true (not_ (not_ (Sing "X")) = Sing "X");
+  Alcotest.(check (list string)) "free vars" [ "X"; "y" ]
+    (free_vars (Exists1 ("x", And [ Mem ("x", "X"); EqPos ("x", "y") ])))
+
+(* Deterministic exhaustive agreement check: a fixed set of formula
+   templates (covering every atom and quantifier shape, including the
+   direction-sensitive child atoms) against every shape with at most 5
+   positions, every SO assignment and every FO position. *)
+let test_exhaustive_agreement () =
+  let shapes =
+    let leaf = Treeauto.Leaf [] in
+    let n a b = Treeauto.Node ([], a, b) in
+    [
+      leaf; n leaf leaf; n (n leaf leaf) leaf; n leaf (n leaf leaf);
+      n (n leaf leaf) (n leaf leaf);
+    ]
+  in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: r ->
+      let s = subsets r in
+      s @ List.map (fun l -> x :: l) s
+  in
+  let templates =
+    [
+      LeftOf ("x", "y"); RightOf ("x", "y"); Reach ("x", "y"); Root "x";
+      IsNil "x"; Sing "X"; Sub ("X", "Y"); Mem ("x", "X"); EqPos ("x", "y");
+      EqSet ("X", "Y"); EmptySet "X";
+      Exists1 ("q", Or [ Mem ("q", "X"); Root "q" ]);
+      Forall1 ("q", Or [ Reach ("q", "x"); IsNil "q" ]);
+      Exists2 ("Q", And [ Sub ("Q", "X"); EmptySet "Q" ]);
+      Not (Reach ("x", "y"));
+      And [ LeftOf ("x", "y"); Mem ("y", "X") ];
+      Or [ RightOf ("x", "y"); EqPos ("x", "y") ];
+      Imp (Root "x", IsNil "y");
+      Iff (IsNil "x", IsNil "y");
+      Forall1 ("q", Imp (Mem ("q", "X"), IsNil "q"));
+      Exists1 ("q", And [ LeftOf ("q", "x"); Mem ("q", "Y") ]);
+      Exists1 ("q", And [ RightOf ("q", "x"); Mem ("q", "Y") ]);
+    ]
+  in
+  let mismatches = ref 0 in
+  List.iter
+    (fun f ->
+      let auto = compile env f in
+      let used = free_vars f in
+      let dim all v = if List.mem v used then all else [ List.hd all ] in
+      List.iter
+        (fun shape ->
+          let poss = List.map snd (Treeauto.tree_positions shape) in
+          (* only enumerate the dimensions the formula actually reads *)
+          List.iter
+            (fun sx ->
+              List.iter
+                (fun sy ->
+                  List.iter
+                    (fun px ->
+                      List.iter
+                        (fun py ->
+                          let asg =
+                            [ ("X", sx); ("Y", sy); ("x", [ px ]); ("y", [ py ]) ]
+                          in
+                          let t = relabel shape asg in
+                          if Treeauto.accepts auto t <> eval shape asg f then
+                            incr mismatches)
+                        (dim poss "y"))
+                    (dim poss "x"))
+                (dim (subsets poss) "Y"))
+            (dim (subsets poss) "X"))
+        shapes)
+    templates;
+  Alcotest.(check int) "no mismatches" 0 !mismatches
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mso"
+    [
+      ( "agreement",
+        [
+          qt prop_compile_agrees_with_eval;
+          Alcotest.test_case "exhaustive templates" `Quick
+            test_exhaustive_agreement;
+        ] );
+      ( "decision",
+        [
+          Alcotest.test_case "validities" `Quick test_validities;
+          Alcotest.test_case "satisfiability" `Quick test_satisfiability;
+          Alcotest.test_case "witness decoding" `Quick test_witness_decoding;
+          Alcotest.test_case "isnil axiom" `Quick test_paper_isnil_axiom;
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+        ] );
+    ]
