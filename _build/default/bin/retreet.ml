@@ -13,6 +13,27 @@ let setup_logs verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log query progress.")
 
+(* The exit-code contract (also rendered under EXIT STATUS in --help):
+   0 = proof, 1 = counterexample/refutation, 2 = usage/parse/wf error,
+   3 = unknown (budget exhausted). *)
+let exit_unknown = 3
+
+let exits =
+  Cmd.Exit.info 0 ~doc:"the query was decided: the property HOLDS (proof)."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "the query was decided: a COUNTEREXAMPLE or refutation was found."
+  :: Cmd.Exit.info 2
+       ~doc:"usage error, or the program failed to parse or is ill-formed."
+  :: Cmd.Exit.info exit_unknown
+       ~doc:
+         "UNKNOWN: the resource budget was exhausted before a verdict \
+          (see $(b,--timeout), $(b,--max-nodes), $(b,--max-states), \
+          $(b,--max-steps))."
+  :: List.filter
+       (fun i -> Cmd.Exit.info_code i <> Cmd.Exit.ok)
+       Cmd.Exit.defaults
+
 (* Sources: either a file or one of the built-in case-study programs
    (prefix "builtin:"). *)
 let load_source (path : string) : Blocks.t =
@@ -21,14 +42,68 @@ let load_source (path : string) : Blocks.t =
     match List.assoc_opt name Programs.all_named with
     | Some src -> Programs.load src
     | None ->
-      Fmt.epr "unknown builtin %s; available:@.%a@." name
+      Fmt.epr "unknown builtin %s; available:@.@[<v 2>  %a@]@." name
         Fmt.(list ~sep:cut string)
         (List.map fst Programs.all_named);
       exit 2
   end
-  else Wf.check_exn (Parser.parse_file path)
+  else
+    match Parser.parse_file path with
+    | prog -> (
+      match Wf.check prog with
+      | Ok info -> info
+      | Error es ->
+        Fmt.epr "%s: ill-formed Retreet program:@.%a@." path
+          Fmt.(list ~sep:cut string)
+          es;
+        exit 2)
+    | exception Lexer.Error msg | exception Parser.Error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+    | exception Sys_error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
 
 let file_arg n doc = Arg.(required & pos n (some string) None & info [] ~doc)
+
+(* Budget flags, shared by the solver-backed commands. *)
+let budget_term =
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the whole query.  On exhaustion the \
+             verdict is UNKNOWN (exit 3) with the pairs discharged so far.")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"BDD/MTBDD node-allocation cap per solver attempt.")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Automaton-state cap per construction.")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Abstract solver-step cap per attempt (deterministic, unlike \
+             $(b,--timeout)).")
+  in
+  let mk timeout max_bdd_nodes max_states max_steps =
+    Engine.budget ?timeout ?max_bdd_nodes ?max_states ?max_steps ()
+  in
+  Term.(const mk $ timeout $ max_nodes $ max_states $ max_steps)
 
 (* --- check --- *)
 
@@ -54,16 +129,17 @@ let check_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Parse a program and report its block structure.")
+    (Cmd.info "check" ~exits
+       ~doc:"Parse a program and report its block structure.")
     Term.(const run $ verbose_arg $ file_arg 0 "Program file or builtin:NAME.")
 
 (* --- race --- *)
 
 let race_cmd =
-  let run verbose file =
+  let run verbose budget file =
     setup_logs verbose;
     let info = load_source file in
-    match Analysis.check_data_race info with
+    match Analysis.check_data_race ~budget info with
     | Analysis.Race_free ->
       Fmt.pr "data-race-free.@.";
       0
@@ -73,11 +149,16 @@ let race_cmd =
         cx
         (Analysis.replay_race info cx);
       1
+    | Analysis.Race_unknown u ->
+      Fmt.pr "UNKNOWN: %a@." Analysis.pp_progress u;
+      exit_unknown
   in
   Cmd.v
-    (Cmd.info "race"
+    (Cmd.info "race" ~exits
        ~doc:"Check data-race freedom (the paper's DataRace query).")
-    Term.(const run $ verbose_arg $ file_arg 0 "Program file or builtin:NAME.")
+    Term.(
+      const run $ verbose_arg $ budget_term
+      $ file_arg 0 "Program file or builtin:NAME.")
 
 (* --- equiv --- *)
 
@@ -91,10 +172,10 @@ let map_arg =
            multivalued (repeat a source label).")
 
 let equiv_cmd =
-  let run verbose f1 f2 map =
+  let run verbose budget f1 f2 map =
     setup_logs verbose;
     let p = load_source f1 and p' = load_source f2 in
-    match Analysis.check_equivalence p p' ~map with
+    match Analysis.check_equivalence ~budget p p' ~map with
     | Analysis.Equivalent { relation } ->
       Fmt.pr "equivalent (bisimulation with %d call pairs).@."
         (List.length relation);
@@ -105,16 +186,20 @@ let equiv_cmd =
         (Analysis.replay_equivalence p p' cx);
       1
     | Analysis.Bisimulation_failed why ->
+      (* a definite refutation of the block map, not a usage error *)
       Fmt.pr "bisimulation failed: %s@." why;
-      2
+      1
+    | Analysis.Equiv_unknown u ->
+      Fmt.pr "UNKNOWN: %a@." Analysis.pp_progress u;
+      exit_unknown
   in
   Cmd.v
-    (Cmd.info "equiv"
+    (Cmd.info "equiv" ~exits
        ~doc:
          "Check that two programs are equivalent (the paper's Conflict \
           query over a bisimulation).")
     Term.(
-      const run $ verbose_arg
+      const run $ verbose_arg $ budget_term
       $ file_arg 0 "Original program."
       $ file_arg 1 "Transformed program."
       $ map_arg)
@@ -161,7 +246,7 @@ let run_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Interpret a program on a concrete tree.")
+    (Cmd.info "run" ~exits ~doc:"Interpret a program on a concrete tree.")
     Term.(
       const run $ verbose_arg
       $ file_arg 0 "Program file or builtin:NAME."
@@ -186,7 +271,7 @@ let fuse_cmd =
       0
   in
   Cmd.v
-    (Cmd.info "fuse"
+    (Cmd.info "fuse" ~exits
        ~doc:"Fuse post-order traversals into one; prints the fused program \
              and the block map for $(b,equiv).")
     Term.(
@@ -208,7 +293,7 @@ let baseline_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "baseline"
+    (Cmd.info "baseline" ~exits
        ~doc:"Ask the TreeFuser-style coarse analysis about a transformation.")
     Term.(
       const run $ verbose_arg
@@ -245,7 +330,7 @@ let mona_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "mona"
+    (Cmd.info "mona" ~exits
        ~doc:"Export the first data-race query in MONA (WS2S) syntax.")
     Term.(
       const run $ verbose_arg

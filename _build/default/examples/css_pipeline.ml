@@ -77,6 +77,7 @@ let () =
   | Analysis.Equivalent _ ->
     Fmt.pr "verified: the three minification traversals can be fused@."
   | Analysis.Not_equivalent _ -> Fmt.pr "fusion rejected?!@."
-  | Analysis.Bisimulation_failed why -> Fmt.pr "bisimulation failed: %s@." why);
+  | Analysis.Bisimulation_failed why -> Fmt.pr "bisimulation failed: %s@." why
+  | Analysis.Equiv_unknown u -> Fmt.pr "unknown: %a@." Analysis.pp_progress u);
   Fmt.pr "coarse baseline says: %a@." Baseline.pp_verdict
     (Baseline.can_fuse seq_prog.prog "ConvertValues" "MinifyFont")

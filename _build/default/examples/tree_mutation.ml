@@ -45,7 +45,9 @@ let () =
       Fmt.pr "verified: the generated fusion is correct@."
     | Analysis.Not_equivalent _ -> Fmt.pr "generated fusion rejected?!@."
     | Analysis.Bisimulation_failed why ->
-      Fmt.pr "bisimulation failed: %s@." why);
+      Fmt.pr "bisimulation failed: %s@." why
+    | Analysis.Equiv_unknown u ->
+      Fmt.pr "unknown: %a@." Analysis.pp_progress u);
     (* and it computes the same heaps *)
     let rng = Random.State.make [| 99 |] in
     let agree = ref true in
@@ -68,3 +70,4 @@ let () =
     Fmt.pr "verified: the paper's hand-fused program (Fig. 7b) is correct@."
   | Analysis.Not_equivalent _ -> Fmt.pr "hand fusion rejected?!@."
   | Analysis.Bisimulation_failed why -> Fmt.pr "bisimulation failed: %s@." why
+  | Analysis.Equiv_unknown u -> Fmt.pr "unknown: %a@." Analysis.pp_progress u

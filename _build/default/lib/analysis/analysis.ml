@@ -49,11 +49,81 @@ let pp_counterexample info ppf (cx : counterexample) =
     (List.filter (fun (_, paths) -> paths <> []) cx.cx_model.Mso.assignment)
 
 (* ------------------------------------------------------------------ *)
+(* Budgeted pair drivers                                               *)
+
+type progress = {
+  reason : Engine.reason;
+  pairs_done : int;
+  pairs_total : int;
+}
+
+let pp_progress ppf { reason; pairs_done; pairs_total } =
+  Fmt.pf ppf "%a; %d/%d dependent block pairs discharged" Engine.pp_reason
+    reason pairs_done pairs_total
+
+(* A Wall_clock reason escaping a per-item slice reports that slice's
+   elapsed/limit, which is meaningless to the caller; restate it against
+   the whole-query budget before it leaves the query boundary. *)
+let against_query ~budget ~t0 (r : Engine.reason) =
+  match (r.Engine.resource, budget.Engine.timeout) with
+  | Engine.Wall_clock, Some s ->
+    {
+      r with
+      Engine.used = int_of_float ((Engine.now () -. t0) *. 1000.);
+      limit = int_of_float (s *. 1000.);
+    }
+  | _ -> r
+
+(* Escalation driver shared by the race and equivalence queries: attempt
+   each work item under an equal slice of the remaining wall-clock budget
+   (per-extent caps apply to every slice); collect the items whose slice
+   ran out and retry them once with the leftover budget.  The first
+   counterexample wins immediately; items discharged in round one stay
+   discharged (their compiled subformulas also stay cached, so retries
+   resume warm). *)
+type 'cx drive_outcome =
+  | Drive_done
+  | Drive_found of 'cx
+  | Drive_out of Engine.reason * int  (* reason, items discharged *)
+
+let drive ~budget ~deadline items solve =
+  let round items =
+    let n = List.length items in
+    let rec go i ndone failed last_reason = function
+      | [] -> `Through (ndone, List.rev failed, last_reason)
+      | it :: rest -> (
+        let slice = Engine.slice budget ~deadline ~over:(n - i) in
+        match Engine.with_budget slice (fun () -> solve it) with
+        | Ok (Some cx) -> `Hit cx
+        | Ok None -> go (i + 1) (ndone + 1) failed last_reason rest
+        | Error r ->
+          Log.info (fun m -> m "pair deferred: %a" Engine.pp_reason r);
+          go (i + 1) ndone (it :: failed) (Some r) rest)
+    in
+    go 0 0 [] None items
+  in
+  match round items with
+  | `Hit cx -> Drive_found cx
+  | `Through (_, [], _) -> Drive_done
+  | `Through (n1, failed, r1) -> (
+    match round failed with
+    | `Hit cx -> Drive_found cx
+    | `Through (_, [], _) -> Drive_done
+    | `Through (n2, _, r2) ->
+      let reason =
+        match (r2, r1) with
+        | Some r, _ | None, Some r -> r
+        | None, None -> assert false
+      in
+      Drive_out (reason, n1 + n2))
+
+(* ------------------------------------------------------------------ *)
 (* Data race detection                                                 *)
 
 type race_result =
   | Race_free
   | Race of counterexample
+  | Race_unknown of progress
 
 let ns_p1 = { Encode.tag = ""; cfg = 1 }
 let ns_p2 = { Encode.tag = ""; cfg = 2 }
@@ -63,76 +133,102 @@ let ns_p2 = { Encode.tag = ""; cfg = 2 }
     blocks (the paper's disjunction over [q1, q2]); the compiled
     subformulas are shared between pairs through the solver cache. *)
 let check_data_race ?(on_pair = fun _ _ -> ()) ?field_sensitive ?prune
-    (info : Blocks.t) : race_result =
-  let enc = Encode.make ?field_sensitive ?prune info in
-  let noncalls = Blocks.all_noncalls info in
-  if Encode.divergence_triples enc Blocks.Par = [] then Race_free
-  else begin
-    let env =
-      ("x1", Mso.FO) :: ("x2", Mso.FO)
-      :: Encode.label_env enc [ ns_p1; ns_p2 ]
+    ?(budget = Engine.unlimited) (info : Blocks.t) : race_result =
+  let t0 = Engine.now () in
+  let deadline = Engine.absolute_deadline budget in
+  let unknown reason pairs_done pairs_total =
+    Race_unknown
+      { reason = against_query ~budget ~t0 reason; pairs_done; pairs_total }
+  in
+  (* encoder construction (ConsistentCondSet enumeration) runs under the
+     whole remaining budget; a blow-up there is an Unknown with no pair
+     discharged, not a crash *)
+  let setup () =
+    let enc = Encode.make ?field_sensitive ?prune info in
+    if Encode.divergence_triples enc Blocks.Par = [] then None
+    else begin
+      let noncalls = Blocks.all_noncalls info in
+      let env =
+        ("x1", Mso.FO) :: ("x2", Mso.FO)
+        :: Encode.label_env enc [ ns_p1; ns_p2 ]
+      in
+      let pairs =
+        List.concat_map
+          (fun q1 ->
+            List.filter_map
+              (fun q2 ->
+                if q1 <= q2 && Encode.may_conflict enc q1 q2 then
+                  Some (q1, q2)
+                else None)
+              noncalls)
+          noncalls
+      in
+      Some (enc, env, pairs)
+    end
+  in
+  match Engine.with_budget (Engine.slice budget ~deadline ~over:1) setup with
+  | Error reason -> unknown reason 0 0
+  | Ok None -> Race_free
+  | Ok (Some (enc, env, pairs)) -> (
+    let solve_pair (q1, q2) =
+      on_pair q1 q2;
+      Log.info (fun m ->
+          m "data race query for blocks %s, %s" (Blocks.block info q1).label
+            (Blocks.block info q2).label);
+      let current1 = Some (q1, "x1") and current2 = Some (q2, "x2") in
+      (* one query per parallel-divergence case: the case union is never
+         materialized (see Encode.parallel_cases); raw [And] keeps each
+         element a cached subformula and the configuration products prune
+         the state space first *)
+      let cases =
+        Encode.parallel_cases enc ns_p1 ns_p2 ~current1 ~current2
+      in
+      let found = ref None in
+      List.iter
+        (fun case ->
+          if !found = None then
+            let f =
+              Mso.And
+                [
+                  Encode.configuration enc ns_p1 ~q:q1 ~x:"x1";
+                  Encode.configuration enc ns_p2 ~q:q2 ~x:"x2";
+                  Encode.conflict_access enc ns_p1 ns_p2 ~q1 ~x1:"x1" ~q2
+                    ~x2:"x2";
+                  case;
+                ]
+            in
+            match Mso.solve env f with
+            | Some model ->
+              found :=
+                Some
+                  {
+                    cx_tree = model.tree;
+                    cx_q1 = q1;
+                    cx_q2 = q2;
+                    cx_model = model;
+                  }
+            | None -> ())
+        cases;
+      !found
     in
-    let result = ref Race_free in
-    List.iter
-      (fun q1 ->
-        List.iter
-          (fun q2 ->
-            if !result = Race_free && q1 <= q2
-               && Encode.may_conflict enc q1 q2
-            then begin
-              on_pair q1 q2;
-              Log.info (fun m ->
-                  m "data race query for blocks %s, %s"
-                    (Blocks.block info q1).label (Blocks.block info q2).label);
-              let current1 = Some (q1, "x1") and current2 = Some (q2, "x2") in
-              (* one query per parallel-divergence case: the case union is
-                 never materialized (see Encode.parallel_cases); raw [And]
-                 keeps each element a cached subformula and the
-                 configuration products prune the state space first *)
-              let cases =
-                Encode.parallel_cases enc ns_p1 ns_p2 ~current1 ~current2
-              in
-              List.iter
-                (fun case ->
-                  if !result = Race_free then
-                    let f =
-                      Mso.And
-                        [
-                          Encode.configuration enc ns_p1 ~q:q1 ~x:"x1";
-                          Encode.configuration enc ns_p2 ~q:q2 ~x:"x2";
-                          Encode.conflict_access enc ns_p1 ns_p2 ~q1
-                            ~x1:"x1" ~q2 ~x2:"x2";
-                          case;
-                        ]
-                    in
-                    match Mso.solve env f with
-                    | Some model ->
-                      result :=
-                        Race
-                          {
-                            cx_tree = model.tree;
-                            cx_q1 = q1;
-                            cx_q2 = q2;
-                            cx_model = model;
-                          }
-                    | None -> ())
-                cases
-            end)
-          noncalls)
-      noncalls;
-    !result
-  end
+    match drive ~budget ~deadline pairs solve_pair with
+    | Drive_done -> Race_free
+    | Drive_found cx -> Race cx
+    | Drive_out (reason, pairs_done) ->
+      unknown reason pairs_done (List.length pairs))
 
 (** Replay a race counterexample concretely: build the witness heap and ask
     the dynamic oracle whether an unordered conflicting pair occurs. *)
 let replay_race (info : Blocks.t) (cx : counterexample) : bool =
   let heap = heap_of_witness cx.cx_tree in
+  (* Only an arity mismatch is expected here (Main may take no Int
+     argument); anything else — Out_of_memory, Stack_overflow,
+     Assert_failure — must propagate to the engine boundary. *)
   match Interp.run info heap [ 0 ] with
-  | exception _ -> (
-    (* Main may take no Int argument *)
+  | exception Interp.Runtime_error _ -> (
     match Interp.run info heap [] with
     | { events; _ } -> Interp.races info events <> []
-    | exception _ -> false)
+    | exception Interp.Runtime_error _ -> false)
   | { events; _ } -> Interp.races info events <> []
 
 (* ------------------------------------------------------------------ *)
@@ -386,6 +482,7 @@ type equiv_result =
   | Equivalent of { relation : (int * int) list }
   | Not_equivalent of counterexample  (** a dependence is reordered *)
   | Bisimulation_failed of string
+  | Equiv_unknown of progress
 
 let ns_q1 = { Encode.tag = "'"; cfg = 1 }
 let ns_q2 = { Encode.tag = "'"; cfg = 2 }
@@ -394,124 +491,186 @@ let ns_q2 = { Encode.tag = "'"; cfg = 2 }
     configurations is scheduled in opposite orders.  [map] aligns the
     non-call blocks of the two programs. *)
 let check_equivalence ?(on_pair = fun _ _ -> ()) ?field_sensitive ?prune
-    (p : Blocks.t) (p' : Blocks.t) ~(map : block_map) : equiv_result =
-  match check_bisimulation p p' ~map with
-  | Not_bisimilar why -> Bisimulation_failed why
-  | Bisimilar relation -> (
-    let enc = Encode.make ?field_sensitive ?prune p
-    and enc' = Encode.make ?field_sensitive ?prune p' in
-    let map_id =
-      List.filter_map
-        (fun (l, l') ->
-          match (Blocks.block_by_label p l, Blocks.block_by_label p' l') with
-          | Some b, Some b' -> Some (b.id, b'.id)
-          | _ -> None)
-        map
+    ?(budget = Engine.unlimited) (p : Blocks.t) (p' : Blocks.t)
+    ~(map : block_map) : equiv_result =
+  let t0 = Engine.now () in
+  let deadline = Engine.absolute_deadline budget in
+  let whole () = Engine.slice budget ~deadline ~over:1 in
+  let unknown reason pairs_done pairs_total =
+    Equiv_unknown
+      { reason = against_query ~budget ~t0 reason; pairs_done; pairs_total }
+  in
+  let unknown0 reason = unknown reason 0 0 in
+  match Engine.with_budget (whole ()) (fun () -> check_bisimulation p p' ~map) with
+  | Error reason -> unknown0 reason
+  | Ok (Not_bisimilar why) -> Bisimulation_failed why
+  | Ok (Bisimilar relation) -> (
+    let setup () =
+      let enc = Encode.make ?field_sensitive ?prune p
+      and enc' = Encode.make ?field_sensitive ?prune p' in
+      (enc, enc')
     in
-    let images q =
-      List.filter_map (fun (a, b) -> if a = q then Some b else None) map_id
-    in
-    let noncalls = Blocks.all_noncalls p in
-    (* One query per dependent block pair, over both programs' label
-       families at once (they share only the tree and the current
-       nodes). *)
-    let flat_env =
-      ("x1", Mso.FO) :: ("x2", Mso.FO)
-      :: (Encode.label_env enc [ ns_p1; ns_p2 ]
-         @ Encode.label_env enc' [ ns_q1; ns_q2 ])
-    in
-    (* the dependence part alone, per program side — a cheap necessary
-       condition used to filter pairs before compiling the (expensive)
-       schedule constraints *)
-    let dep_side enc nsa nsb q1 q2 =
-      Mso.And
-        [
-          Encode.configuration enc nsa ~q:q1 ~x:"x1";
-          Encode.configuration enc nsb ~q:q2 ~x:"x2";
-          Encode.conflict_access enc nsa nsb ~q1 ~x1:"x1" ~q2 ~x2:"x2";
-        ]
-    in
-    let dep_env_p =
-      ("x1", Mso.FO) :: ("x2", Mso.FO) :: Encode.label_env enc [ ns_p1; ns_p2 ]
-    in
-    let dep_env_p' =
-      ("x1", Mso.FO) :: ("x2", Mso.FO)
-      :: Encode.label_env enc' [ ns_q1; ns_q2 ]
-    in
-    let flat_cases q1 q2 q1' q2' =
-      let current1 = Some (q1, "x1") and current2 = Some (q2, "x2") in
-      let current1' = Some (q1', "x1") and current2' = Some (q2', "x2") in
-      (* one query per pair of ordered-divergence cases; the dep_side
-         conjuncts are the exact subformulas the prefilter already
-         compiled, so their automata come from the cache *)
-      let cases_p =
-        Encode.ordered_cases enc ns_p1 ns_p2 ~current1 ~current2
+    match Engine.with_budget (whole ()) setup with
+    | Error reason -> unknown0 reason
+    | Ok (enc, enc') -> (
+      let map_id =
+        List.filter_map
+          (fun (l, l') ->
+            match (Blocks.block_by_label p l, Blocks.block_by_label p' l') with
+            | Some b, Some b' -> Some (b.id, b'.id)
+            | _ -> None)
+          map
       in
-      let cases_p' =
-        Encode.ordered_cases enc' ns_q2 ns_q1 ~current1:current2'
-          ~current2:current1'
+      let images q =
+        List.filter_map (fun (a, b) -> if a = q then Some b else None) map_id
       in
-      (* group as (depP ∧ caseP) ∧ (depP' ∧ caseP'): each grouped side is
-         one cached automaton, so the cross product of cases costs one
-         intersection per combination *)
-      List.concat_map
-        (fun cp ->
-          List.map
-            (fun cp' ->
-              Mso.And
-                [
-                  Mso.And [ dep_side enc ns_p1 ns_p2 q1 q2; cp ];
-                  Mso.And [ dep_side enc' ns_q1 ns_q2 q1' q2'; cp' ];
-                ])
-            cases_p')
-        cases_p
-    in
-
-    let result = ref None in
-    List.iter
-      (fun q1 ->
+      let noncalls = Blocks.all_noncalls p in
+      (* One query per dependent block pair, over both programs' label
+         families at once (they share only the tree and the current
+         nodes). *)
+      let flat_env =
+        ("x1", Mso.FO) :: ("x2", Mso.FO)
+        :: (Encode.label_env enc [ ns_p1; ns_p2 ]
+           @ Encode.label_env enc' [ ns_q1; ns_q2 ])
+      in
+      (* the dependence part alone, per program side — a cheap necessary
+         condition used to filter pairs before compiling the (expensive)
+         schedule constraints *)
+      let dep_side enc nsa nsb q1 q2 =
+        Mso.And
+          [
+            Encode.configuration enc nsa ~q:q1 ~x:"x1";
+            Encode.configuration enc nsb ~q:q2 ~x:"x2";
+            Encode.conflict_access enc nsa nsb ~q1 ~x1:"x1" ~q2 ~x2:"x2";
+          ]
+      in
+      let dep_env_p =
+        ("x1", Mso.FO) :: ("x2", Mso.FO)
+        :: Encode.label_env enc [ ns_p1; ns_p2 ]
+      in
+      let dep_env_p' =
+        ("x1", Mso.FO) :: ("x2", Mso.FO)
+        :: Encode.label_env enc' [ ns_q1; ns_q2 ]
+      in
+      let flat_cases q1 q2 q1' q2' =
+        let current1 = Some (q1, "x1") and current2 = Some (q2, "x2") in
+        let current1' = Some (q1', "x1") and current2' = Some (q2', "x2") in
+        (* one query per pair of ordered-divergence cases; the dep_side
+           conjuncts are the exact subformulas the prefilter already
+           compiled, so their automata come from the cache *)
+        let cases_p =
+          Encode.ordered_cases enc ns_p1 ns_p2 ~current1 ~current2
+        in
+        let cases_p' =
+          Encode.ordered_cases enc' ns_q2 ns_q1 ~current1:current2'
+            ~current2:current1'
+        in
+        (* group as (depP ∧ caseP) ∧ (depP' ∧ caseP'): each grouped side is
+           one cached automaton, so the cross product of cases costs one
+           intersection per combination *)
+        List.concat_map
+          (fun cp ->
+            List.map
+              (fun cp' ->
+                Mso.And
+                  [
+                    Mso.And [ dep_side enc ns_p1 ns_p2 q1 q2; cp ];
+                    Mso.And [ dep_side enc' ns_q1 ns_q2 q1' q2'; cp' ];
+                  ])
+              cases_p')
+          cases_p
+      in
+      let pairs =
+        List.concat_map
+          (fun q1 ->
+            List.filter_map
+              (fun q2 ->
+                if Encode.may_conflict enc q1 q2 then Some (q1, q2) else None)
+              noncalls)
+          noncalls
+      in
+      let pairs_total = List.length pairs in
+      (* Escalation phase 1 — the cheap dependence prefilter: a pair whose
+         image tuples never conflict statically, or whose P-side dependence
+         is UNSAT, needs no schedule query at all.  Pairs whose prefilter
+         itself runs out of budget fall through to the full phase, where
+         the retry round gives them a second chance. *)
+      let classify (q1, q2) =
+        let tuple_conflicts =
+          List.exists
+            (fun q1' ->
+              List.exists
+                (fun q2' -> Encode.may_conflict enc' q1' q2')
+                (images q2))
+            (images q1)
+        in
+        if not tuple_conflicts then `Cheap
+        else if
+          not (Mso.satisfiable dep_env_p (dep_side enc ns_p1 ns_p2 q1 q2))
+        then `Cheap
+        else `Work
+      in
+      let nclassify = List.length pairs in
+      let _, ncheap, work =
+        List.fold_left
+          (fun (i, ncheap, work) pair ->
+            let slice =
+              Engine.slice budget ~deadline ~over:(nclassify - i)
+            in
+            match Engine.with_budget slice (fun () -> classify pair) with
+            | Ok `Cheap -> (i + 1, ncheap + 1, work)
+            | Ok `Work -> (i + 1, ncheap, pair :: work)
+            | Error _ -> (i + 1, ncheap, pair :: work))
+          (0, 0, []) pairs
+      in
+      let work = List.rev work in
+      (* Escalation phase 2 — full schedule queries per surviving pair,
+         with the inner tuple loop exactly as before (the prefilter
+         formulas are already compiled, so re-checking them is a cache
+         hit). *)
+      let solve_pair (q1, q2) =
+        let found = ref None in
         List.iter
-          (fun q2 ->
-            if Encode.may_conflict enc q1 q2 then
-              List.iter
-                (fun q1' ->
+          (fun q1' ->
+            List.iter
+              (fun q2' ->
+                if
+                  !found = None
+                  && Encode.may_conflict enc' q1' q2'
+                  && Mso.satisfiable dep_env_p
+                       (dep_side enc ns_p1 ns_p2 q1 q2)
+                  && Mso.satisfiable dep_env_p'
+                       (dep_side enc' ns_q1 ns_q2 q1' q2')
+                then begin
+                  on_pair q1 q2;
+                  Log.info (fun m ->
+                      m "conflict query for blocks %s, %s"
+                        (Blocks.block p q1).label (Blocks.block p q2).label);
                   List.iter
-                    (fun q2' ->
-                      if
-                        !result = None
-                        && Encode.may_conflict enc' q1' q2'
-                        && Mso.satisfiable dep_env_p (dep_side enc ns_p1 ns_p2 q1 q2)
-                        && Mso.satisfiable dep_env_p'
-                             (dep_side enc' ns_q1 ns_q2 q1' q2')
-                      then begin
-                        on_pair q1 q2;
-                        Log.info (fun m ->
-                            m "conflict query for blocks %s, %s"
-                              (Blocks.block p q1).label
-                              (Blocks.block p q2).label);
-                        List.iter
-                          (fun f ->
-                            if !result = None then
-                              match Mso.solve flat_env f with
-                              | Some model ->
-                                result :=
-                                  Some
-                                    {
-                                      cx_tree = model.tree;
-                                      cx_q1 = q1;
-                                      cx_q2 = q2;
-                                      cx_model = model;
-                                    }
-                              | None -> ())
-                          (flat_cases q1 q2 q1' q2')
-                      end)
-                    (images q2))
-                (images q1))
-          noncalls)
-      noncalls;
-    match !result with
-    | Some cx -> Not_equivalent cx
-    | None -> Equivalent { relation })
+                    (fun f ->
+                      if !found = None then
+                        match Mso.solve flat_env f with
+                        | Some model ->
+                          found :=
+                            Some
+                              {
+                                cx_tree = model.tree;
+                                cx_q1 = q1;
+                                cx_q2 = q2;
+                                cx_model = model;
+                              }
+                        | None -> ())
+                    (flat_cases q1 q2 q1' q2')
+                end)
+              (images q2))
+          (images q1);
+        !found
+      in
+      match drive ~budget ~deadline work solve_pair with
+      | Drive_found cx -> Not_equivalent cx
+      | Drive_done -> Equivalent { relation }
+      | Drive_out (reason, ndone) ->
+        unknown reason (ncheap + ndone) pairs_total))
 
 (** Replay an equivalence counterexample: run both programs on the witness
     heap and compare results.  The minimal witness only localizes the

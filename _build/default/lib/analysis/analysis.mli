@@ -24,21 +24,46 @@ val heap_of_witness : Treeauto.tree -> Heap.tree
 val pp_counterexample :
   Blocks.t -> Format.formatter -> counterexample -> unit
 
+(** {1 Partial progress}
+
+    Every query runs under an {!Engine.budget} (unlimited by default).
+    When the budget runs out before a verdict, the query returns a typed
+    Unknown carrying the exhausted resource and how many of the dependent
+    block pairs were discharged before exhaustion.  Unknown is sound in
+    both directions: it never replaces a definite verdict that the same
+    query would have produced within budget, and a pair whose query was
+    cut short is never counted as discharged — so [Race_free] /
+    [Equivalent] still mean proof. *)
+
+type progress = {
+  reason : Engine.reason;  (** which resource ran out *)
+  pairs_done : int;  (** dependent block pairs fully discharged *)
+  pairs_total : int;  (** dependent block pairs the query must cover *)
+}
+
+val pp_progress : Format.formatter -> progress -> unit
+
 (** {1 Data-race freedom (Theorem 2)} *)
 
 type race_result =
   | Race_free  (** proof: no two parallel configurations conflict *)
   | Race of counterexample
+  | Race_unknown of progress  (** budget exhausted before a verdict *)
 
 val check_data_race :
   ?on_pair:(int -> int -> unit) ->
   ?field_sensitive:bool ->
   ?prune:bool ->
+  ?budget:Engine.budget ->
   Blocks.t ->
   race_result
 (** Decide [DataRace⟦P⟧].  [on_pair] is a progress callback invoked with
     each pair of non-call blocks before its query is solved;
-    [field_sensitive]/[prune] are the {!Encode.make} ablation toggles. *)
+    [field_sensitive]/[prune] are the {!Encode.make} ablation toggles.
+    [budget] bounds the whole query: each dependent pair is attempted
+    under an equal slice of the remaining wall clock, and pairs whose
+    slice ran out are retried once with the leftover before the query
+    returns [Race_unknown]. *)
 
 val replay_race : Blocks.t -> counterexample -> bool
 (** Build the witness heap, run the program, and ask the dynamic
@@ -84,17 +109,23 @@ type equiv_result =
       (** a dependent pair of configurations is scheduled in opposite
           orders by the two programs *)
   | Bisimulation_failed of string
+  | Equiv_unknown of progress  (** budget exhausted before a verdict *)
 
 val check_equivalence :
   ?on_pair:(int -> int -> unit) ->
   ?field_sensitive:bool ->
   ?prune:bool ->
+  ?budget:Engine.budget ->
   Blocks.t ->
   Blocks.t ->
   map:block_map ->
   equiv_result
 (** Decide [Conflict⟦P,P'⟧] for two data-race-free programs related by
-    [map].  [on_pair] is a progress callback per dependent block pair. *)
+    [map].  [on_pair] is a progress callback per dependent block pair.
+    Under a [budget], cheap dependence-prefilter pairs are discharged
+    first, the remaining pairs get equal wall-clock slices, and failed
+    pairs are retried once with the leftover budget before the query
+    returns [Equiv_unknown]. *)
 
 val replay_equivalence : Blocks.t -> Blocks.t -> counterexample -> bool
 (** Run both programs concretely — on the witness heap, then on complete

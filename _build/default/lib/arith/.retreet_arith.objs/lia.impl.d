@@ -1,1 +1,1 @@
-lib/arith/lia.ml: Array Fmt Lin List Logs Option Rat String
+lib/arith/lia.ml: Array Engine Fmt Lin List Logs Option Rat String

@@ -124,6 +124,7 @@ let brute_force conj =
    far had a unit coefficient on one side (real shadow = dark shadow), in
    which case the answer is exact. *)
 let rec omega ~fuel conj =
+  Engine.tick ();
   if fuel = 0 then None
   else
     match normalize conj with

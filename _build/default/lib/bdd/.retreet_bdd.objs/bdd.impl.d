@@ -1,1 +1,1 @@
-lib/bdd/bdd.ml: Fmt Hashtbl Int List
+lib/bdd/bdd.ml: Engine Fmt Hashtbl Int List

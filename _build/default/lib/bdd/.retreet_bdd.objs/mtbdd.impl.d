@@ -1,1 +1,1 @@
-lib/bdd/mtbdd.ml: Bdd Fmt Hashtbl Int List
+lib/bdd/mtbdd.ml: Bdd Engine Fmt Hashtbl Int List

@@ -40,6 +40,7 @@ let mk v lo hi =
     match Unique.find_opt unique key with
     | Some n -> n
     | None ->
+      Engine.note_bdd_node ();
       let n = Node { id = !next_id; v; lo; hi } in
       incr next_id;
       Unique.add unique key n;

@@ -29,6 +29,7 @@ let const value =
   match Hashtbl.find_opt leaf_tbl value with
   | Some l -> l
   | None ->
+    Engine.note_bdd_node ();
     let l = Leaf { id = !next_id; value } in
     incr next_id;
     Hashtbl.add leaf_tbl value l;
@@ -41,6 +42,7 @@ let mk v lo hi =
     match NodeTbl.find_opt node_tbl key with
     | Some n -> n
     | None ->
+      Engine.note_bdd_node ();
       let n = Node { id = !next_id; v; lo; hi } in
       incr next_id;
       NodeTbl.add node_tbl key n;

@@ -1,1 +1,1 @@
-lib/lang/parser.ml: Array Ast Fmt Lexer List
+lib/lang/parser.ml: Array Ast Fmt Lexer List Printf

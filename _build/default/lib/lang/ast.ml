@@ -99,6 +99,8 @@ type stmt =
 
 type func = {
   fname : string;
+  fline : int;
+      (** source line of the definition; 0 for generated functions *)
   loc_param : string;  (** the single [Loc] parameter *)
   int_params : string list;
   body : stmt;

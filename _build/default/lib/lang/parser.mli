@@ -23,6 +23,9 @@
 exception Error of string
 
 val parse_program : string -> Ast.prog
-(** @raise Error (or {!Lexer.Error}) with a line-numbered message. *)
+(** @raise Error (or {!Lexer.Error}) with a ["line L, column C: ..."]
+    message naming the offending token. *)
 
 val parse_file : string -> Ast.prog
+(** Like {!parse_program}; error messages are prefixed with the file
+    path. *)

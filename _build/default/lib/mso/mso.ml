@@ -298,6 +298,7 @@ let compile env formula =
     match Hashtbl.find_opt cache key with
     | Some a -> a
     | None ->
+      Engine.tick ();
       let a = comp_raw tenv next f in
       Hashtbl.add cache key a;
       a

@@ -62,6 +62,7 @@ let swap_traversal ~(name : string) ~(field : string) : Ast.func =
   in
   {
     Ast.fname = name;
+    fline = 0;
     loc_param = "n";
     int_params = [];
     body =

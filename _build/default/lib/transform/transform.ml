@@ -142,6 +142,7 @@ let fuse ?(fused_name = "Fused") (prog : Ast.prog) (names : string list) :
     let fused_func =
       {
         Ast.fname = fused_name;
+        fline = 0;
         loc_param = first.func.loc_param;
         int_params = [];
         body =

@@ -66,6 +66,7 @@ let explore ~(leaf : Mtbdd.t) ~(delta : int -> int -> Mtbdd.t)
     if not (Hashtbl.mem code_of c) then begin
       Hashtbl.add code_of c !ncodes;
       incr ncodes;
+      Engine.check_states !ncodes;
       Queue.add c queue
     end
   in
@@ -75,6 +76,7 @@ let explore ~(leaf : Mtbdd.t) ~(delta : int -> int -> Mtbdd.t)
      combine with every code seen so far (including itself). *)
   let processed = ref [] in
   while not (Queue.is_empty queue) do
+    Engine.tick ();
     let c = Queue.pop queue in
     let partners = c :: !processed in
     List.iter
@@ -207,6 +209,7 @@ let minimize a =
     end;
     let changed = ref true in
     while !changed do
+      Engine.tick ();
       changed := false;
       (* Map every transition MTBDD through the current class assignment,
          memoized by diagram identity for this iteration. *)
@@ -371,6 +374,7 @@ let witness a =
   in
   let changed = ref true in
   while !changed && not (have_accepting_witness ()) do
+    Engine.tick ();
     changed := false;
     let snapshot = Array.copy wit in
     for q1 = 0 to n - 1 do

@@ -11,3 +11,11 @@
   > Main(n) { y = F(n); return y }
   > SRC
   $ retreet check bad.retreet 2>&1 | grep -o 'same-node recursion'
+  $ cat > syntax.retreet <<'SRC'
+  > Main(n) {
+  >   m1: n.v = ;
+  >   mret: return
+  > }
+  > SRC
+  $ retreet check syntax.retreet
+  $ retreet race builtin:size_counting --max-steps 10

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Analysis Engine List Printf Programs QCheck QCheck_alcotest Sys

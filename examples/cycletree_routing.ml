@@ -80,4 +80,5 @@ let () =
        concrete replay confirms: %b@."
       (Blocks.block par u.cx_q1).label (Blocks.block par u.cx_q2).label
       (Analysis.replay_race par u)
-  | Analysis.Race_free -> Fmt.pr "unexpectedly race-free?!@.")
+  | Analysis.Race_free -> Fmt.pr "unexpectedly race-free?!@."
+  | Analysis.Race_unknown u -> Fmt.pr "unknown: %a@." Analysis.pp_progress u)

@@ -50,7 +50,8 @@ let () =
   (* 3. the two parallel traversals never race *)
   (match Analysis.check_data_race info with
   | Analysis.Race_free -> Fmt.pr "verified: Odd(n) || Even(n) is data-race-free@."
-  | Analysis.Race _ -> Fmt.pr "unexpected race!@.");
+  | Analysis.Race _ -> Fmt.pr "unexpected race!@."
+  | Analysis.Race_unknown u -> Fmt.pr "unknown: %a@." Analysis.pp_progress u);
 
   (* 4. fusing the two traversals into one is a valid transformation *)
   let seq = Programs.load Programs.size_counting_seq in
@@ -65,7 +66,8 @@ let () =
             call pairs)@."
       (List.length relation)
   | Analysis.Not_equivalent _ -> Fmt.pr "fusion rejected?!@."
-  | Analysis.Bisimulation_failed why -> Fmt.pr "bisimulation failed: %s@." why);
+  | Analysis.Bisimulation_failed why -> Fmt.pr "bisimulation failed: %s@." why
+  | Analysis.Equiv_unknown u -> Fmt.pr "unknown: %a@." Analysis.pp_progress u);
 
   (* 5. ... which no coarse traversal-level analysis can establish *)
   Fmt.pr "coarse baseline says: %a@." Baseline.pp_verdict

@@ -86,6 +86,7 @@ let make ?(field_sensitive = true) ?(prune = true) (info : Blocks.t) : t =
         let assignments =
           List.filter
             (fun asg ->
+              Engine.tick ();
               let atoms =
                 List.filter_map
                   (fun (c, pol) -> Symexec.cond_atom sym c ~polarity:pol)

@@ -60,6 +60,8 @@ let pp_token ppf = function
   | KTRUE -> Fmt.string ppf "'true'"
   | EOF -> Fmt.string ppf "end of input"
 
+type pos = { line : int; col : int }
+
 exception Error of string
 
 let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
@@ -70,18 +72,24 @@ let is_ident_start c =
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
-(** Tokenize a source string; each token carries its line number. *)
-let tokenize src : (token * int) list =
+(** Tokenize a source string; each token carries its line/column position
+    (both 1-based, pointing at the token's first character). *)
+let tokenize src : (token * pos) list =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
-  let push t = toks := (t, !line) :: !toks in
+  let bol = ref 0 in
+  (* index just past the last newline: column = offset - bol + 1 *)
   let i = ref 0 in
+  let here () = { line = !line; col = !i - !bol + 1 } in
+  let push_at p t = toks := (t, p) :: !toks in
+  let push t = push_at (here ()) t in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
@@ -91,13 +99,14 @@ let tokenize src : (token * int) list =
       done
     end
     else if is_ident_start c then begin
+      let p = here () in
       let j = ref !i in
       while !j < n && is_ident_char src.[!j] do
         incr j
       done;
       let word = String.sub src !i (!j - !i) in
       i := !j;
-      push
+      push_at p
         (match word with
         | "if" -> KIF
         | "else" -> KELSE
@@ -107,11 +116,12 @@ let tokenize src : (token * int) list =
         | _ -> IDENT word)
     end
     else if is_digit c then begin
+      let p = here () in
       let j = ref !i in
       while !j < n && is_digit src.[!j] do
         incr j
       done;
-      push (NUM (int_of_string (String.sub src !i (!j - !i))));
+      push_at p (NUM (int_of_string (String.sub src !i (!j - !i))));
       i := !j
     end
     else begin
@@ -141,7 +151,9 @@ let tokenize src : (token * int) list =
         | '>' -> push GT
         | '<' -> push LT
         | '!' -> push BANG
-        | _ -> error "line %d: unexpected character %C" !line c);
+        | _ ->
+          error "line %d, column %d: unexpected character %C" !line
+            (!i - !bol + 1) c);
         incr i
     end
   done;

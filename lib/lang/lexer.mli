@@ -32,8 +32,12 @@ type token =
 
 val pp_token : Format.formatter -> token -> unit
 
+type pos = { line : int; col : int }
+(** 1-based source position of a token's first character. *)
+
 exception Error of string
 
-val tokenize : string -> (token * int) list
-(** Tokens with their line numbers; ends with [EOF].
-    @raise Error on an unexpected character. *)
+val tokenize : string -> (token * pos) list
+(** Tokens with their source positions; ends with [EOF].
+    @raise Error with a ["line L, column C: ..."] message on an
+    unexpected character. *)

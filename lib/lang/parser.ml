@@ -24,7 +24,7 @@ exception Error of string
 let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
 
 type state = {
-  toks : (Lexer.token * int) array;
+  toks : (Lexer.token * Lexer.pos) array;
   mutable pos : int;
   mutable loc_param : string;
 }
@@ -34,22 +34,28 @@ let peek2 st =
   if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
   else Lexer.EOF
 
-let line st = snd st.toks.(st.pos)
+let line st = (snd st.toks.(st.pos)).Lexer.line
 let advance st = st.pos <- st.pos + 1
+
+(* Error at the current token, prefixed with its line/column position. *)
+let perr st fmt =
+  let { Lexer.line; col } = snd st.toks.(st.pos) in
+  Fmt.kstr
+    (fun s -> raise (Error (Printf.sprintf "line %d, column %d: %s" line col s)))
+    fmt
 
 let expect st t =
   if peek st = t then advance st
   else
-    error "line %d: expected %a but found %a" (line st) Lexer.pp_token t
-      Lexer.pp_token (peek st)
+    perr st "expected %a but found %a" Lexer.pp_token t Lexer.pp_token
+      (peek st)
 
 let ident st =
   match peek st with
   | Lexer.IDENT s ->
     advance st;
     s
-  | t -> error "line %d: expected an identifier, found %a" (line st)
-           Lexer.pp_token t
+  | t -> perr st "expected an identifier, found %a" Lexer.pp_token t
 
 (* --- location expressions --- *)
 
@@ -69,16 +75,14 @@ let rec lexpr_tail st acc =
 let lexpr_opt_field st =
   let name = ident st in
   if name <> st.loc_param then
-    error "line %d: %S is not the Loc parameter (%S)" (line st) name
-      st.loc_param;
+    perr st "%S is not the Loc parameter (%S)" name st.loc_param;
   lexpr_tail st []
 
 let lexpr_no_field st =
   match lexpr_opt_field st with
   | path, None -> path
   | _, Some f ->
-    error "line %d: unexpected field selector .%s in location expression"
-      (line st) f
+    perr st "unexpected field selector .%s in location expression" f
 
 (* --- arithmetic expressions --- *)
 
@@ -113,14 +117,11 @@ and parse_term st : Ast.aexpr =
     match lexpr_tail st [] with
     | path, Some f -> Ast.Field (path, f)
     | _, None ->
-      error "line %d: a location expression is not an Int expression"
-        (line st))
+      perr st "a location expression is not an Int expression")
   | Lexer.IDENT x ->
     advance st;
     Ast.Var x
-  | t ->
-    error "line %d: expected an Int expression, found %a" (line st)
-      Lexer.pp_token t
+  | t -> perr st "expected an Int expression, found %a" Lexer.pp_token t
 
 (* --- boolean conditions --- *)
 
@@ -133,10 +134,9 @@ let rec parse_bexpr st : Ast.bexpr =
     advance st;
     Ast.NotB (parse_bexpr st)
   | Lexer.ANDAND ->
-    error
-      "line %d: '&&' is not allowed: Retreet conditions are atomic; use \
-       nested conditionals"
-      (line st)
+    perr st
+      "'&&' is not allowed: Retreet conditions are atomic; use nested \
+       conditionals"
   | Lexer.IDENT name when name = st.loc_param && peek2 st <> Lexer.LPAREN -> (
     let saved = st.pos in
     match lexpr_opt_field st with
@@ -150,8 +150,7 @@ let rec parse_bexpr st : Ast.bexpr =
         advance st;
         expect st Lexer.KNIL;
         Ast.NotB (Ast.IsNilB path)
-      | _ ->
-        error "line %d: expected '== nil' or '!= nil'" (line st))
+      | _ -> perr st "expected '== nil' or '!= nil'")
     | _ ->
       (* a field access: re-parse as an arithmetic comparison *)
       st.pos <- saved;
@@ -174,9 +173,7 @@ and parse_comparison st =
   | Lexer.GE -> mk `Ge
   | Lexer.LT -> mk `Lt
   | Lexer.LE -> mk `Le
-  | t ->
-    error "line %d: expected a comparison operator, found %a" (line st)
-      Lexer.pp_token t
+  | t -> perr st "expected a comparison operator, found %a" Lexer.pp_token t
 
 (* --- statements --- *)
 
@@ -227,14 +224,12 @@ let rec parse_simple st ~label : item =
     | path, Some f ->
       expect st Lexer.EQ;
       IAssign (label, Ast.SetField (path, f, parse_aexpr st))
-    | _, None ->
-      error "line %d: a bare location expression is not a statement"
-        (line st))
+    | _, None -> perr st "a bare location expression is not a statement")
   | Lexer.IDENT _ when peek2 st = Lexer.LPAREN -> parse_call st ~lhs:[] ~label
   | Lexer.IDENT _ when peek2 st = Lexer.COLON ->
     let l = ident st in
     advance st (* colon *);
-    if label <> None then error "line %d: duplicate block label" (line st);
+    if label <> None then perr st "duplicate block label";
     parse_simple st ~label:(Some l)
   | Lexer.IDENT x -> (
     advance st;
@@ -243,8 +238,7 @@ let rec parse_simple st ~label : item =
     | Lexer.IDENT g when peek2 st = Lexer.LPAREN && g <> st.loc_param ->
       parse_call st ~lhs:[ x ] ~label
     | _ -> IAssign (label, Ast.SetVar (x, parse_aexpr st)))
-  | t ->
-    error "line %d: expected a statement, found %a" (line st) Lexer.pp_token t
+  | t -> perr st "expected a statement, found %a" Lexer.pp_token t
 
 and parse_item st : item =
   match peek st with
@@ -315,6 +309,7 @@ and parse_seq st : Ast.stmt =
   | s :: rest -> List.fold_left (fun acc s' -> Ast.SSeq (acc, s')) s rest
 
 let parse_func st : Ast.func =
+  let fline = line st in
   let fname = ident st in
   expect st Lexer.LPAREN;
   let loc_param = ident st in
@@ -328,7 +323,7 @@ let parse_func st : Ast.func =
   expect st Lexer.LBRACE;
   let body = parse_seq st in
   expect st Lexer.RBRACE;
-  { Ast.fname; loc_param; int_params = List.rev !int_params; body }
+  { Ast.fname; fline; loc_param; int_params = List.rev !int_params; body }
 
 let parse_program (src : string) : Ast.prog =
   let toks = Array.of_list (Lexer.tokenize src) in
@@ -344,4 +339,6 @@ let parse_file path =
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  parse_program src
+  try parse_program src with
+  | Lexer.Error msg -> raise (Lexer.Error (path ^ ": " ^ msg))
+  | Error msg -> raise (Error (path ^ ": " ^ msg))

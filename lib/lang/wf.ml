@@ -18,6 +18,11 @@ type error = string
 
 let errf fmt = Fmt.kstr (fun s -> s) fmt
 
+(* "line N: " prefix for errors attributable to a function definition;
+   generated functions (fline = 0) get no prefix. *)
+let fpos (f : Ast.func) =
+  if f.fline > 0 then Printf.sprintf "line %d: " f.fline else ""
+
 let return_arity (f : Ast.func) : (int option, error) result =
   let arities = ref [] in
   let rec walk = function
@@ -36,7 +41,7 @@ let return_arity (f : Ast.func) : (int option, error) result =
   match List.sort_uniq Int.compare !arities with
   | [] -> Ok None
   | [ k ] -> Ok (Some k)
-  | _ -> Error (errf "%s: inconsistent return arities" f.fname)
+  | _ -> Error (errf "%s%s: inconsistent return arities" (fpos f) f.fname)
 
 (* Strict prefixes of a path, shortest first. *)
 let strict_prefixes (p : Ast.lexpr) =
@@ -57,15 +62,15 @@ let non_nil_guarded (info : Blocks.t) guards path =
       | _ -> false)
     guards
 
-let check_derefs (info : Blocks.t) : error list =
+let check_derefs ?(lineof = fun _ -> "") (info : Blocks.t) : error list =
   let errors = ref [] in
   let need fname guards what (path : Ast.lexpr) =
     List.iter
       (fun prefix ->
         if not (non_nil_guarded info guards prefix) then
           errors :=
-            errf "%s: %s dereferences %a without a guard %a != nil" fname what
-              Ast.pp_lexpr path Ast.pp_lexpr prefix
+            errf "%s%s: %s dereferences %a without a guard %a != nil"
+              (lineof fname) fname what Ast.pp_lexpr path Ast.pp_lexpr prefix
             :: !errors)
       (strict_prefixes path)
   in
@@ -76,8 +81,8 @@ let check_derefs (info : Blocks.t) : error list =
       (fun (p, _f) ->
         if not (non_nil_guarded info guards p) then
           errors :=
-            errf "%s: %s reads a field of %a without a nil guard" fname what
-              Ast.pp_lexpr p
+            errf "%s%s: %s reads a field of %a without a nil guard"
+              (lineof fname) fname what Ast.pp_lexpr p
             :: !errors)
       (Ast.aexpr_fields e)
   in
@@ -95,8 +100,8 @@ let check_derefs (info : Blocks.t) : error list =
               need b.bfunc b.guards what p;
               if not (non_nil_guarded info b.guards p) then
                 errors :=
-                  errf "%s: %s writes a field of %a without a nil guard"
-                    b.bfunc what Ast.pp_lexpr p
+                  errf "%s%s: %s writes a field of %a without a nil guard"
+                    (lineof b.bfunc) b.bfunc what Ast.pp_lexpr p
                   :: !errors;
               check_aexpr b.bfunc b.guards what e
             | Ast.SetVar (_, e) -> check_aexpr b.bfunc b.guards what e
@@ -115,8 +120,8 @@ let check_derefs (info : Blocks.t) : error list =
             (fun prefix ->
               if not (non_nil_guarded info c.cguards prefix) then
                 errors :=
-                  errf "%s: %s tests %a but %a may be nil" c.cfunc what
-                    Ast.pp_lexpr p Ast.pp_lexpr prefix
+                  errf "%s%s: %s tests %a but %a may be nil" (lineof c.cfunc)
+                    c.cfunc what Ast.pp_lexpr p Ast.pp_lexpr prefix
                   :: !errors)
             prefixes)
       | Ast.Gt0 e ->
@@ -128,8 +133,8 @@ let check_derefs (info : Blocks.t) : error list =
                    (p :: strict_prefixes p))
             then
               errors :=
-                errf "%s: %s reads a field of %a which may be nil" c.cfunc
-                  what Ast.pp_lexpr p
+                errf "%s%s: %s reads a field of %a which may be nil"
+                  (lineof c.cfunc) c.cfunc what Ast.pp_lexpr p
                 :: !errors)
           (Ast.aexpr_fields e)
       | _ -> ())
@@ -169,15 +174,20 @@ let check_stay_cycles (prog : Ast.prog) : error list =
       then
         Some
           (errf
-             "%s: same-node recursion (the stay-call graph has a cycle \
+             "%s%s: same-node recursion (the stay-call graph has a cycle \
               through %s), violating the termination restriction"
-             f.fname f.fname)
+             (fpos f) f.fname f.fname)
       else None)
     prog.funcs
 
 let check (prog : Ast.prog) : (Blocks.t, error list) result =
   let errors = ref [] in
   let err e = errors := e :: !errors in
+  let lineof fname =
+    match Ast.find_func prog fname with
+    | Some f -> fpos f
+    | None -> ""
+  in
   (* Main *)
   if Ast.find_func prog "Main" = None then err "program has no Main function";
   (* duplicate functions *)
@@ -185,14 +195,14 @@ let check (prog : Ast.prog) : (Blocks.t, error list) result =
   List.iter
     (fun n ->
       if List.length (List.filter (String.equal n) names) > 1 then
-        err (errf "function %s is defined more than once" n))
+        err (errf "%sfunction %s is defined more than once" (lineof n) n))
     (List.sort_uniq String.compare names);
   (* param hygiene *)
   List.iter
     (fun (f : Ast.func) ->
       let ps = f.loc_param :: f.int_params in
       if List.length (List.sort_uniq String.compare ps) <> List.length ps then
-        err (errf "%s: duplicate parameter names" f.fname))
+        err (errf "%s%s: duplicate parameter names" (fpos f) f.fname))
     prog.funcs;
   (* return arities *)
   let arity_of = Hashtbl.create 16 in
@@ -208,23 +218,27 @@ let check (prog : Ast.prog) : (Blocks.t, error list) result =
       let rec walk = function
         | Ast.SBlock (_, Ast.Call c) -> (
           match Ast.find_func prog c.callee with
-          | None -> err (errf "%s: call to undefined function %s" f.fname c.callee)
+          | None ->
+            err
+              (errf "%s%s: call to undefined function %s" (fpos f) f.fname
+                 c.callee)
           | Some callee ->
             if List.length c.args <> List.length callee.int_params then
               err
-                (errf "%s: call to %s passes %d Int arguments, expected %d"
-                   f.fname c.callee (List.length c.args)
+                (errf "%s%s: call to %s passes %d Int arguments, expected %d"
+                   (fpos f) f.fname c.callee (List.length c.args)
                    (List.length callee.int_params));
             if c.lhs <> [] then
               match Hashtbl.find_opt arity_of c.callee with
               | Some (Some k) when k <> List.length c.lhs ->
                 err
-                  (errf "%s: call to %s binds %d values, %s returns %d"
-                     f.fname c.callee (List.length c.lhs) c.callee k)
+                  (errf "%s%s: call to %s binds %d values, %s returns %d"
+                     (fpos f) f.fname c.callee (List.length c.lhs) c.callee k)
               | Some None ->
                 err
-                  (errf "%s: call to %s binds values but %s never returns any"
-                     f.fname c.callee c.callee)
+                  (errf "%s%s: call to %s binds values but %s never returns \
+                         any"
+                     (fpos f) f.fname c.callee c.callee)
               | _ -> ())
         | Ast.SBlock _ -> ()
         | Ast.SIf (_, a, b) | Ast.SSeq (a, b) | Ast.SPar (a, b) ->
@@ -245,7 +259,7 @@ let check (prog : Ast.prog) : (Blocks.t, error list) result =
         if List.length (List.filter (String.equal l) labels) > 1 then
           err (errf "block label %s is not unique" l))
       (List.sort_uniq String.compare labels);
-    List.iter err (check_derefs info);
+    List.iter err (check_derefs ~lineof info);
     match List.rev !errors with [] -> Ok info | es -> Error es
   end
 

@@ -73,6 +73,7 @@ let compile (s : spec) : Ast.func =
   in
   {
     Ast.fname = s.name;
+    fline = 0;
     loc_param = "n";
     int_params = [];
     body =
@@ -107,7 +108,8 @@ let compile_pipeline (specs : spec list) : Ast.prog =
   {
     Ast.funcs =
       funcs
-      @ [ { Ast.fname = "Main"; loc_param = "n"; int_params = []; body = main_body } ];
+      @ [ { Ast.fname = "Main"; fline = 0; loc_param = "n"; int_params = [];
+            body = main_body } ];
   }
 
 (** The paper's three CSS minification traversals as n-ary specs (compare

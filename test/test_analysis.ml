@@ -29,6 +29,8 @@ let test_running_example_race_free () =
   | Analysis.Race cx ->
     Alcotest.failf "unexpected race: %a"
       (Analysis.pp_counterexample info) cx
+  | Analysis.Race_unknown _ ->
+    Alcotest.fail "unexpected Unknown under unlimited budget"
 
 (* --- a racy program is detected, and the counterexample is real --- *)
 
@@ -39,6 +41,8 @@ let test_racy_program_detected () =
   | Analysis.Race cx ->
     Alcotest.(check bool) "counterexample replays concretely" true
       (Analysis.replay_race info cx)
+  | Analysis.Race_unknown _ ->
+    Alcotest.fail "unexpected Unknown under unlimited budget"
 
 (* --- sequential variant of the racy program is race-free --- *)
 
@@ -59,6 +63,8 @@ Main(n) { m1: A(n); m2: B(n); mret: return }
   match Analysis.check_data_race (Programs.load seq) with
   | Analysis.Race_free -> ()
   | Analysis.Race _ -> Alcotest.fail "sequential composition cannot race"
+  | Analysis.Race_unknown _ ->
+    Alcotest.fail "unexpected Unknown under unlimited budget"
 
 (* --- bisimulation --- *)
 
@@ -88,6 +94,8 @@ let test_fusion_valid () =
     Alcotest.failf "valid fusion rejected: %a"
       (Analysis.pp_counterexample p) cx
   | Analysis.Bisimulation_failed why -> Alcotest.failf "bisim: %s" why
+  | Analysis.Equiv_unknown _ ->
+    Alcotest.fail "unexpected Unknown under unlimited budget"
 
 let test_fusion_invalid () =
   let p = Programs.load Programs.size_counting_seq in
@@ -98,6 +106,8 @@ let test_fusion_invalid () =
     Alcotest.(check bool) "counterexample is a real difference" true
       (Analysis.replay_equivalence p invalid cx)
   | Analysis.Bisimulation_failed why -> Alcotest.failf "bisim: %s" why
+  | Analysis.Equiv_unknown _ ->
+    Alcotest.fail "unexpected Unknown under unlimited budget"
 
 (* --- E4: tree mutation fusion --- *)
 
@@ -110,6 +120,8 @@ let test_tree_mutation_fusion () =
     Alcotest.failf "mutation fusion rejected: %a"
       (Analysis.pp_counterexample p) cx
   | Analysis.Bisimulation_failed why -> Alcotest.failf "bisim: %s" why
+  | Analysis.Equiv_unknown _ ->
+    Alcotest.fail "unexpected Unknown under unlimited budget"
 
 (* --- automatic fusion (Transform) verified end to end --- *)
 
@@ -122,7 +134,9 @@ let test_transform_fuse_verified () =
     match Analysis.check_equivalence p fused ~map with
     | Analysis.Equivalent _ -> ()
     | Analysis.Not_equivalent _ -> Alcotest.fail "generated fusion rejected"
-    | Analysis.Bisimulation_failed why -> Alcotest.failf "bisim: %s" why)
+    | Analysis.Bisimulation_failed why -> Alcotest.failf "bisim: %s" why
+    | Analysis.Equiv_unknown _ ->
+      Alcotest.fail "unexpected Unknown under unlimited budget")
 
 (* --- an INVALID transformation proposal is caught --- *)
 
@@ -166,6 +180,8 @@ Main(n) {
   | Analysis.Bisimulation_failed _ ->
     (* also an acceptable rejection *)
     ()
+  | Analysis.Equiv_unknown _ ->
+    Alcotest.fail "unexpected Unknown under unlimited budget"
 
 (* --- E5: CSS fusion (slow) --- *)
 
@@ -177,6 +193,8 @@ let test_css_fusion () =
   | Analysis.Not_equivalent cx ->
     Alcotest.failf "css fusion rejected: %a" (Analysis.pp_counterexample p) cx
   | Analysis.Bisimulation_failed why -> Alcotest.failf "bisim: %s" why
+  | Analysis.Equiv_unknown _ ->
+    Alcotest.fail "unexpected Unknown under unlimited budget"
 
 (* --- E7: cycletree parallelization races (slow) --- *)
 
@@ -192,6 +210,8 @@ let test_cycletree_parallel_racy () =
       || List.mem l2 [ "rmset"; "pmset"; "imset"; "tmset" ]);
     Alcotest.(check bool) "counterexample replays" true
       (Analysis.replay_race par cx)
+  | Analysis.Race_unknown _ ->
+    Alcotest.fail "unexpected Unknown under unlimited budget"
 
 (* --- every static race verdict agrees with the dynamic oracle --- *)
 
@@ -204,6 +224,8 @@ let test_cross_validation_races () =
         match Analysis.check_data_race info with
         | Analysis.Race_free -> false
         | Analysis.Race _ -> true
+        | Analysis.Race_unknown _ ->
+          Alcotest.fail "unexpected Unknown under unlimited budget"
       in
       (* the static analysis is sound: if it says race-free, no concrete
          execution may exhibit an unordered conflicting pair *)
@@ -229,6 +251,8 @@ let test_cross_validation_schedules () =
       let info = Programs.load src in
       match Analysis.check_data_race info with
       | Analysis.Race _ -> ()
+      | Analysis.Race_unknown _ ->
+        Alcotest.fail "unexpected Unknown under unlimited budget"
       | Analysis.Race_free ->
         for _ = 1 to 3 do
           let base = Heap.random ~size:7 rng in
