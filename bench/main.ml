@@ -399,24 +399,44 @@ let figure_b () =
 
 let smoke_suite () =
   Fmt.pr "== Smoke suite: budget-capped verification subset ==@.";
+  Fmt.pr "  (validated at level full; overhead = validation / query time)@.";
   let failures = ref 0 in
-  let report id expect ~unknown_ok verdict dt =
+  let total_query = ref 0. and total_validation = ref 0. in
+  let report id expect ~unknown_ok verdict (vr : Validate.report) =
+    let dt = vr.Validate.query_time in
+    total_query := !total_query +. vr.Validate.query_time;
+    total_validation := !total_validation +. vr.Validate.validation_time;
+    let overhead =
+      if vr.Validate.query_time > 0. then
+        Printf.sprintf "validation +%.0f%%"
+          (100. *. vr.Validate.validation_time /. vr.Validate.query_time)
+      else "validation -"
+    in
+    let overhead =
+      if Validate.ok vr then overhead
+      else begin
+        incr failures;
+        overhead ^ " SELF-VALIDATION FAILED"
+      end
+    in
     let is_unknown =
       String.length verdict >= 7 && String.sub verdict 0 7 = "unknown"
     in
-    if verdict = expect then Fmt.pr "  [%s] %-15s %.2fs (ok)@." id verdict dt
+    if verdict = expect then
+      Fmt.pr "  [%s] %-15s %6.2fs  %-18s (ok)@." id verdict dt overhead
     else if unknown_ok && is_unknown then
-      Fmt.pr "  [%s] %s %.2fs (acceptable under smoke budget)@." id verdict
-        dt
+      Fmt.pr "  [%s] %s %.2fs  %s (acceptable under smoke budget)@." id
+        verdict dt overhead
     else begin
       incr failures;
-      Fmt.pr "  [%s] %s %.2fs (FAIL: expected %s)@." id verdict dt expect
+      Fmt.pr "  [%s] %s %.2fs  %s (FAIL: expected %s)@." id verdict dt
+        overhead expect
     end;
     Format.pp_print_flush Fmt.stdout ()
   in
   let equiv id ~budget ~unknown_ok p p' map expect =
-    let result, dt =
-      time (fun () -> Analysis.check_equivalence ~budget p p' ~map)
+    let result, vr =
+      Validate.check_equivalence ~level:Validate.Full ~budget p p' ~map
     in
     let verdict =
       match result with
@@ -425,17 +445,19 @@ let smoke_suite () =
       | Analysis.Bisimulation_failed w -> "bisim failed: " ^ w
       | Analysis.Equiv_unknown u -> unknown_str u
     in
-    report id expect ~unknown_ok verdict dt
+    report id expect ~unknown_ok verdict vr
   in
   let race id ~budget ~unknown_ok p expect =
-    let result, dt = time (fun () -> Analysis.check_data_race ~budget p) in
+    let result, vr =
+      Validate.check_data_race ~level:Validate.Full ~budget p
+    in
     let verdict =
       match result with
       | Analysis.Race_free -> "race-free"
       | Analysis.Race _ -> "race"
       | Analysis.Race_unknown u -> unknown_str u
     in
-    report id expect ~unknown_ok verdict dt
+    report id expect ~unknown_ok verdict vr
   in
   (* fast queries must still reach their seed verdict; the two heavy ones
      (E5 CSS fusion, E6 cycletree fusion) may time out to Unknown, but a
@@ -467,9 +489,14 @@ let smoke_suite () =
   race "E7" ~budget:fast ~unknown_ok:false
     (Programs.load Programs.cycletree_par)
     "race";
-  if !failures = 0 then Fmt.pr "@.smoke: all verdicts consistent@."
+  if !total_query > 0. then
+    Fmt.pr "@.smoke: total validation overhead %.0f%% of query wall-clock \
+            (%.2fs / %.2fs)@."
+      (100. *. !total_validation /. !total_query)
+      !total_validation !total_query;
+  if !failures = 0 then Fmt.pr "smoke: all verdicts consistent@."
   else begin
-    Fmt.pr "@.smoke: %d inconsistent verdict(s)@." !failures;
+    Fmt.pr "smoke: %d inconsistent verdict(s)@." !failures;
     exit 1
   end
 

@@ -15,8 +15,9 @@ let verbose_arg =
 
 (* The exit-code contract (also rendered under EXIT STATUS in --help):
    0 = proof, 1 = counterexample/refutation, 2 = usage/parse/wf error,
-   3 = unknown (budget exhausted). *)
+   3 = unknown (budget exhausted), 4 = verdict failed self-validation. *)
 let exit_unknown = 3
+let exit_validation_failed = 4
 
 let exits =
   Cmd.Exit.info 0 ~doc:"the query was decided: the property HOLDS (proof)."
@@ -30,6 +31,11 @@ let exits =
          "UNKNOWN: the resource budget was exhausted before a verdict \
           (see $(b,--timeout), $(b,--max-nodes), $(b,--max-states), \
           $(b,--max-steps))."
+  :: Cmd.Exit.info exit_validation_failed
+       ~doc:
+         "the VERDICT FAILED SELF-VALIDATION: an independent oracle \
+          (counterexample replay, structural invariants, or differential \
+          testing, see $(b,--validate)) contradicts the printed verdict."
   :: List.filter
        (fun i -> Cmd.Exit.info_code i <> Cmd.Exit.ok)
        Cmd.Exit.defaults
@@ -105,6 +111,73 @@ let budget_term =
   in
   Term.(const mk $ timeout $ max_nodes $ max_states $ max_steps)
 
+(* Self-validation flags, shared by race and equiv. *)
+let validate_arg =
+  Arg.(
+    value
+    & opt (enum Validate.level_enum) Validate.Witness
+    & info [ "validate" ] ~docv:"LEVEL"
+        ~doc:
+          "Verdict self-validation level: $(b,off), $(b,witness) \
+           (replay counterexamples concretely; the default), \
+           $(b,invariants) (also check structural invariants of every \
+           constructed automaton and of the BDD stores), or $(b,full) \
+           (also differentially test positive verdicts on small concrete \
+           trees).  A failed check exits 4 without changing the printed \
+           verdict.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SITE:SEED[:PERIOD]"
+        ~doc:
+          "Testing only: arm the named fault-injection site with the \
+           given seed (and firing period) before solving, e.g. \
+           $(b,--inject bdd.branch_flip:7).  Use $(b,--inject list) to \
+           list the registered sites.")
+
+let apply_inject = function
+  | None -> ()
+  | Some "list" ->
+    List.iter
+      (fun (name, descr) -> Fmt.pr "%-24s %s@." name descr)
+      (Faults.all_sites ());
+    exit 0
+  | Some spec -> (
+    let fail () =
+      Fmt.epr "bad --inject spec %S (expected SITE:SEED[:PERIOD]); \
+               registered sites:@.@[<v 2>  %a@]@."
+        spec
+        Fmt.(list ~sep:cut string)
+        (List.map fst (Faults.all_sites ()));
+      exit 2
+    in
+    let arm site seed period =
+      match (int_of_string_opt seed, period) with
+      | Some seed, Some period -> (
+        try Faults.arm ~period ~site ~seed () with Invalid_argument _ -> fail ())
+      | _ -> fail ()
+    in
+    match String.split_on_char ':' spec with
+    | [ site; seed ] -> arm site seed (Some 13)
+    | [ site; seed; p ] -> arm site seed (int_of_string_opt p)
+    | _ -> fail ())
+
+(* Shared epilogue of the validated commands: print the report when it
+   is interesting, and escalate the exit code on a failed check. *)
+let finish_validated verbose report code =
+  if not (Validate.ok report) then begin
+    Fmt.pr "%a@." Validate.pp_report report;
+    Fmt.pr
+      "WARNING: the verdict above FAILED self-validation; do not trust it.@.";
+    exit_validation_failed
+  end
+  else begin
+    if verbose then Fmt.pr "%a@." Validate.pp_report report;
+    code
+  end
+
 (* --- check --- *)
 
 let check_cmd =
@@ -136,28 +209,41 @@ let check_cmd =
 (* --- race --- *)
 
 let race_cmd =
-  let run verbose budget file =
+  let run verbose budget vlevel inject file =
     setup_logs verbose;
+    apply_inject inject;
     let info = load_source file in
-    match Analysis.check_data_race ~budget info with
-    | Analysis.Race_free ->
-      Fmt.pr "data-race-free.@.";
-      0
-    | Analysis.Race cx ->
-      Fmt.pr "DATA RACE:@.%a@.concrete replay confirms: %b@."
-        (Analysis.pp_counterexample info)
-        cx
-        (Analysis.replay_race info cx);
-      1
-    | Analysis.Race_unknown u ->
-      Fmt.pr "UNKNOWN: %a@." Analysis.pp_progress u;
-      exit_unknown
+    let result, report = Validate.check_data_race ~level:vlevel ~budget info in
+    let code =
+      match result with
+      | Analysis.Race_free ->
+        Fmt.pr "data-race-free.@.";
+        0
+      | Analysis.Race cx ->
+        Fmt.pr "DATA RACE:@.%a@." (Analysis.pp_counterexample info) cx;
+        (match
+           List.find_opt
+             (fun (c : Validate.check) -> c.Validate.name = "race.replay")
+             report.Validate.checks
+         with
+        | Some { Validate.status = Validate.Passed; _ } ->
+          Fmt.pr "counterexample confirmed by replay.@."
+        | Some { Validate.status = Validate.Failed _; _ } ->
+          Fmt.pr
+            "WARNING: concrete replay does NOT confirm this counterexample.@."
+        | _ -> ());
+        1
+      | Analysis.Race_unknown u ->
+        Fmt.pr "UNKNOWN: %a@." Analysis.pp_progress u;
+        exit_unknown
+    in
+    finish_validated verbose report code
   in
   Cmd.v
     (Cmd.info "race" ~exits
        ~doc:"Check data-race freedom (the paper's DataRace query).")
     Term.(
-      const run $ verbose_arg $ budget_term
+      const run $ verbose_arg $ budget_term $ validate_arg $ inject_arg
       $ file_arg 0 "Program file or builtin:NAME.")
 
 (* --- equiv --- *)
@@ -172,26 +258,42 @@ let map_arg =
            multivalued (repeat a source label).")
 
 let equiv_cmd =
-  let run verbose budget f1 f2 map =
+  let run verbose budget vlevel inject f1 f2 map =
     setup_logs verbose;
+    apply_inject inject;
     let p = load_source f1 and p' = load_source f2 in
-    match Analysis.check_equivalence ~budget p p' ~map with
-    | Analysis.Equivalent { relation } ->
-      Fmt.pr "equivalent (bisimulation with %d call pairs).@."
-        (List.length relation);
-      0
-    | Analysis.Not_equivalent cx ->
-      Fmt.pr "NOT equivalent:@.%a@.concrete replay differs: %b@."
-        (Analysis.pp_counterexample p) cx
-        (Analysis.replay_equivalence p p' cx);
-      1
-    | Analysis.Bisimulation_failed why ->
-      (* a definite refutation of the block map, not a usage error *)
-      Fmt.pr "bisimulation failed: %s@." why;
-      1
-    | Analysis.Equiv_unknown u ->
-      Fmt.pr "UNKNOWN: %a@." Analysis.pp_progress u;
-      exit_unknown
+    let result, report =
+      Validate.check_equivalence ~level:vlevel ~budget p p' ~map
+    in
+    let code =
+      match result with
+      | Analysis.Equivalent { relation } ->
+        Fmt.pr "equivalent (bisimulation with %d call pairs).@."
+          (List.length relation);
+        0
+      | Analysis.Not_equivalent cx ->
+        Fmt.pr "NOT equivalent:@.%a@." (Analysis.pp_counterexample p) cx;
+        (match
+           List.find_opt
+             (fun (c : Validate.check) -> c.Validate.name = "equiv.replay")
+             report.Validate.checks
+         with
+        | Some { Validate.status = Validate.Passed; _ } ->
+          Fmt.pr "counterexample confirmed by replay.@."
+        | Some { Validate.status = Validate.Failed _; _ } ->
+          Fmt.pr
+            "WARNING: concrete replay does NOT confirm this counterexample.@."
+        | _ -> ());
+        1
+      | Analysis.Bisimulation_failed why ->
+        (* a definite refutation of the block map, not a usage error *)
+        Fmt.pr "bisimulation failed: %s@." why;
+        1
+      | Analysis.Equiv_unknown u ->
+        Fmt.pr "UNKNOWN: %a@." Analysis.pp_progress u;
+        exit_unknown
+    in
+    finish_validated verbose report code
   in
   Cmd.v
     (Cmd.info "equiv" ~exits
@@ -199,7 +301,7 @@ let equiv_cmd =
          "Check that two programs are equivalent (the paper's Conflict \
           query over a bisimulation).")
     Term.(
-      const run $ verbose_arg $ budget_term
+      const run $ verbose_arg $ budget_term $ validate_arg $ inject_arg
       $ file_arg 0 "Original program."
       $ file_arg 1 "Transformed program."
       $ map_arg)

@@ -22,13 +22,25 @@ type counterexample = {
 }
 
 (** The heap corresponding to a witness tree: internal positions become
-    nodes, leaves are the nil positions. *)
+    nodes, leaves are the nil positions.  Total on every witness shape,
+    including the degenerate ones the solver can produce — a single leaf
+    (the empty heap [Nil]) and all-leaf fringes; labels are ignored, so
+    no witness tree is rejected. *)
 let heap_of_witness (tree : Treeauto.tree) : Heap.tree =
   let rec go = function
     | Treeauto.Leaf _ -> Heap.Nil
     | Treeauto.Node (_, l, r) -> Heap.node (go l) (go r)
   in
   go tree
+
+(** Right inverse of {!heap_of_witness} on shapes: nil positions become
+    unlabelled leaves. *)
+let witness_of_heap (heap : Heap.tree) : Treeauto.tree =
+  let rec go = function
+    | Heap.Nil -> Treeauto.Leaf []
+    | Heap.Node { Heap.left; right; _ } -> Treeauto.Node ([], go left, go right)
+  in
+  go heap
 
 let pp_paths ppf = function
   | [] -> Fmt.string ppf "-"

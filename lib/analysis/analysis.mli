@@ -19,7 +19,14 @@ type counterexample = {
 
 val heap_of_witness : Treeauto.tree -> Heap.tree
 (** The concrete heap corresponding to a witness tree: internal positions
-    become nodes, leaves become [nil]. *)
+    become nodes, leaves become [nil].  Total, including on the
+    degenerate witnesses the solver can produce (a single leaf — the
+    empty heap — and all-leaf fringes). *)
+
+val witness_of_heap : Heap.tree -> Treeauto.tree
+(** Right inverse of {!heap_of_witness} on shapes: nil positions become
+    unlabelled leaves.  [heap_of_witness (witness_of_heap h)] has the
+    shape of [h] for every heap [h]. *)
 
 val pp_counterexample :
   Blocks.t -> Format.formatter -> counterexample -> unit

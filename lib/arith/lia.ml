@@ -149,7 +149,19 @@ let rec omega ~fuel conj =
             | _ -> brute_force conj)
         end)
 
+(* Fault site: nudge the constant term of the first atom before deciding
+   satisfiability — models a transcription slip in constraint generation. *)
+let site_coeff_perturb =
+  Faults.register ~name:"arith.coeff_perturb"
+    ~descr:"subtract 1 from the constant term of the first atom before sat"
+
 let sat conj =
+  let conj =
+    match conj with
+    | e :: rest when Faults.fire site_coeff_perturb ->
+      Lin.sub e (Lin.of_int 1) :: rest
+    | _ -> conj
+  in
   match omega ~fuel:64 conj with
   | Some b -> b
   | None ->

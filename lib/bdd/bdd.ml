@@ -20,6 +20,14 @@ let top = True
 let is_bot t = t == False
 let is_top t = t == True
 
+(* Fault site for the self-validation campaign: when armed and firing,
+   [mk] builds the node with its cofactors swapped.  The swap happens
+   before the unique-table lookup, so the table itself stays consistent —
+   the result is a well-formed diagram for the wrong function. *)
+let site_branch_flip =
+  Faults.register ~name:"bdd.branch_flip"
+    ~descr:"swap the cofactors of a freshly requested BDD node"
+
 (* Unique table. *)
 module Key = struct
   type nonrec t = var * int * int
@@ -34,6 +42,7 @@ let unique : t Unique.t = Unique.create 65536
 let next_id = ref 2
 
 let mk v lo hi =
+  let lo, hi = if Faults.fire site_branch_flip then (hi, lo) else (lo, hi) in
   if lo == hi then lo
   else
     let key = (v, id lo, id hi) in
@@ -254,3 +263,40 @@ let rec pp ppf t =
   | True -> Fmt.string ppf "true"
   | Node { v; lo; hi; _ } ->
     Fmt.pf ppf "@[<hv 2>(x%d ?@ %a :@ %a)@]" v pp hi pp lo
+
+(* ------------------------------------------------------------------ *)
+(* Self-validation                                                     *)
+
+(* Sweep the unique table and re-check the ROBDD representation
+   invariants on every node ever built: the key matches the node
+   (hash-consing consistency), no node has equal cofactors (reducedness),
+   and each variable sits strictly above the variables of its cofactors
+   (ordering).  O(table size); run at query boundaries, not per node. *)
+let check_integrity () =
+  let level = function False | True -> max_int | Node { v; _ } -> v in
+  let bad = ref None in
+  Unique.iter
+    (fun (v, lo_id, hi_id) n ->
+      if !bad = None then
+        match n with
+        | False | True -> bad := Some "constant stored in the unique table"
+        | Node { v = v'; lo; hi; _ } ->
+          if v' <> v || id lo <> lo_id || id hi <> hi_id then
+            bad :=
+              Some
+                (Printf.sprintf "unique-table key (x%d,%d,%d) maps to node \
+                                 (x%d,%d,%d)" v lo_id hi_id v' (id lo) (id hi))
+          else if lo == hi then
+            bad := Some (Printf.sprintf "unreduced node at x%d" v)
+          else if v >= level lo || v >= level hi then
+            bad := Some (Printf.sprintf "variable order violated at x%d" v))
+    unique;
+  match !bad with None -> Ok () | Some msg -> Error ("bdd: " ^ msg)
+
+(* Armed fault runs may cache results computed from flipped nodes; drop
+   the (pure, recomputable) memo tables so later runs start clean.  The
+   unique table is kept: its nodes are well-formed and shared. *)
+let () =
+  Faults.on_flush (fun () ->
+      Memo2.reset neg_memo;
+      Memo2.reset apply_cache)

@@ -91,3 +91,9 @@ val size : t -> int
 
 val pp : Format.formatter -> t -> unit
 (** Debug printer (if-then-else normal form, indented). *)
+
+val check_integrity : unit -> (unit, string) result
+(** Re-check the ROBDD representation invariants (hash-cons key
+    consistency, reducedness, variable ordering) on every node in the
+    unique table.  O(table size); meant for query-boundary
+    self-validation, not per-operation use. *)

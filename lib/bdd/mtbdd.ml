@@ -297,3 +297,40 @@ let rec pp ppf t =
   | Leaf { value; _ } -> Fmt.int ppf value
   | Node { v; lo; hi; _ } ->
     Fmt.pf ppf "@[<hv 2>(x%d ?@ %a :@ %a)@]" v pp hi pp lo
+
+(* ------------------------------------------------------------------ *)
+(* Self-validation: same representation sweep as {!Bdd.check_integrity},
+   over the MTBDD tables. *)
+
+let check_integrity () =
+  let bad = ref None in
+  NodeTbl.iter
+    (fun (v, lo_id, hi_id) n ->
+      if !bad = None then
+        match n with
+        | Leaf _ -> bad := Some "leaf stored in the node table"
+        | Node { v = v'; lo; hi; _ } ->
+          if v' <> v || id lo <> lo_id || id hi <> hi_id then
+            bad :=
+              Some
+                (Printf.sprintf "node-table key (x%d,%d,%d) maps to node \
+                                 (x%d,%d,%d)" v lo_id hi_id v' (id lo) (id hi))
+          else if lo == hi then
+            bad := Some (Printf.sprintf "unreduced node at x%d" v)
+          else if v >= level lo || v >= level hi then
+            bad := Some (Printf.sprintf "variable order violated at x%d" v))
+    node_tbl;
+  if !bad = None then
+    Hashtbl.iter
+      (fun value n ->
+        if !bad = None then
+          match n with
+          | Leaf { value = v'; _ } when v' = value -> ()
+          | _ -> bad := Some "leaf-table entry does not match its value")
+      leaf_tbl;
+  match !bad with None -> Ok () | Some msg -> Error ("mtbdd: " ^ msg)
+
+let () =
+  Faults.on_flush (fun () ->
+      Memo2.reset ite_memo;
+      Memo2.reset op_tables)

@@ -63,3 +63,8 @@ val support : t -> var list
 val size : t -> int
 
 val pp : Format.formatter -> t -> unit
+
+val check_integrity : unit -> (unit, string) result
+(** Re-check the MTBDD representation invariants (hash-cons key
+    consistency, reducedness, variable ordering) on every node in the
+    tables; see {!Bdd.check_integrity}. *)

@@ -109,6 +109,8 @@ let slice b ~deadline ~over =
     let left = d -. Unix.gettimeofday () in
     { b with timeout = Some (max 0. (left /. float_of_int (max over 1))) }
 
+let leftover b ~deadline = slice b ~deadline ~over:1
+
 let install b =
   let now = Unix.gettimeofday () in
   let p_deadline, p_nodes, p_states, p_steps =

@@ -83,6 +83,14 @@ val slice : budget -> deadline:float option -> over:int -> budget
 (** [slice b ~deadline ~over] is [b] with its timeout replaced by an
     equal share of the time left until [deadline], split [over] ways. *)
 
+val leftover : budget -> deadline:float option -> budget
+(** [leftover b ~deadline] is [b] with its timeout replaced by all the
+    time still left until [deadline] — the budget available to post-query
+    self-validation once the query itself has returned.  When the query
+    consumed everything, the resulting slice fails fast and the
+    validators report their checks as skipped rather than eating into
+    the next query's time. *)
+
 (** {1 Cooperative check hooks}
 
     All three are no-ops (a single [ref] read) when no budget is

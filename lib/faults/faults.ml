@@ -1,0 +1,92 @@
+(* Deterministic seeded fault injection.  See faults.mli for the contract. *)
+
+type site = {
+  name : string;
+  descr : string;
+  mutable hits : int;  (* hook invocations since the site was armed *)
+  mutable fired : int;  (* how many of those actually fired *)
+}
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+
+let register ~name ~descr =
+  match Hashtbl.find_opt registry name with
+  | Some s -> s
+  | None ->
+    let s = { name; descr; hits = 0; fired = 0 } in
+    Hashtbl.add registry name s;
+    s
+
+let site_name s = s.name
+
+let all_sites () =
+  Hashtbl.fold (fun name s acc -> (name, s.descr) :: acc) registry []
+  |> List.sort compare
+
+let find_site name =
+  match Hashtbl.find_opt registry name with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Faults: unknown site %S (known: %s)" name
+         (String.concat ", " (List.map fst (all_sites ()))))
+
+type armed_state = { target : site; seed : int; period : int }
+
+(* The armed site, if any.  [fire] reads this ref once on the disabled
+   path; everything else happens only while a site is armed. *)
+let state : armed_state option ref = ref None
+
+(* Flush callbacks, newest first. *)
+let flushers : (unit -> unit) list ref = ref []
+let on_flush f = flushers := f :: !flushers
+let flush_caches () = List.iter (fun f -> f ()) !flushers
+
+let reset_counters () =
+  Hashtbl.iter
+    (fun _ s ->
+      s.hits <- 0;
+      s.fired <- 0)
+    registry
+
+let arm ?(period = 13) ~site ~seed () =
+  if period <= 0 then invalid_arg "Faults.arm: period must be positive";
+  let target = find_site site in
+  reset_counters ();
+  flush_caches ();
+  state := Some { target; seed; period }
+
+let disarm () =
+  state := None;
+  reset_counters ();
+  flush_caches ()
+
+let armed () =
+  match !state with
+  | None -> None
+  | Some { target; seed; _ } -> Some (target.name, seed)
+
+(* Whether hit [k] of the armed site fires depends only on (site name,
+   seed, k): a multiplicative hash of the three, reduced mod the period.
+   Different seeds therefore select different (roughly 1/period-density)
+   subsets of the site's hit sequence. *)
+let fires_at ~name ~seed k =
+  let h = ref (String.length name * 0x01000193) in
+  String.iter (fun c -> h := (!h * 0x01000193) lxor Char.code c) name;
+  let h = (!h lxor (seed * 0x85ebca6b)) + (k * 0x9e3779b1) in
+  let h = h lxor (h lsr 15) in
+  h land max_int
+
+let fire s =
+  match !state with
+  | None -> false
+  | Some { target; _ } when target != s -> false
+  | Some { target; seed; period } ->
+    target.hits <- target.hits + 1;
+    if fires_at ~name:target.name ~seed target.hits mod period = 0 then begin
+      target.fired <- target.fired + 1;
+      true
+    end
+    else false
+
+let fired_count ~site = (find_site site).fired

@@ -1,0 +1,70 @@
+(** Deterministic, seeded fault injection for the solver substrates.
+
+    The decision procedure's own correctness is validated empirically: a
+    named {e fault site} sits in each hot path of the pipeline (BDD node
+    construction, automaton exploration, MSO projection, LIA
+    satisfiability), and the test suite {e arms} one site at a time to
+    prove that the validation layer ({!Validate}) catches the resulting
+    corruption — or that the pipeline masks it.
+
+    Faults are deterministic: whether a site fires at its [k]-th hit
+    depends only on the seed, the site name, and [k].  Disarmed, every
+    hook is a single [ref] read (the same discipline as the
+    {!Engine.tick} budget hooks), so the production path pays nothing.
+
+    Armed runs may poison the solver's memo caches with corrupted
+    entries; {!disarm} (and {!arm}) therefore flush every cache whose
+    owner registered itself with {!on_flush}.  The hash-cons unique
+    tables themselves are never corrupted — fault sites are placed
+    {e above} the tables, so a flipped node is a well-formed diagram for
+    the wrong function. *)
+
+type site
+(** A named fault site.  Sites are created once, at module-initialization
+    time, by the substrate that hosts them. *)
+
+val register : name:string -> descr:string -> site
+(** Create and register a site.  [name] is the stable identifier used by
+    {!arm}, tests, and the CLI ([--inject]); registering the same name
+    twice returns the existing site. *)
+
+val site_name : site -> string
+
+val all_sites : unit -> (string * string) list
+(** All registered [(name, description)] pairs, sorted by name.  Forcing
+    the substrate libraries (linking them) is the caller's concern: a
+    site exists once its host module is initialized. *)
+
+(** {1 Arming} *)
+
+val arm : ?period:int -> site:string -> seed:int -> unit -> unit
+(** Arm one site: roughly one in [period] (default 13) of its hits fires,
+    at seed-dependent positions.  Replaces any previously armed site.
+    Resets hit counters and flushes registered caches, so runs are
+    reproducible.  @raise Invalid_argument on an unknown site name or a
+    non-positive period. *)
+
+val disarm : unit -> unit
+(** Disarm, reset counters, and flush registered caches (armed runs may
+    have populated them with corrupted entries). *)
+
+val armed : unit -> (string * int) option
+(** The armed [(site, seed)], if any. *)
+
+val fire : site -> bool
+(** The hook: [true] iff [site] is armed and fires at this hit.  A single
+    [ref] read when nothing is armed. *)
+
+val fired_count : site:string -> int
+(** How many times the site actually fired since it was last armed.
+    @raise Invalid_argument on an unknown site name. *)
+
+(** {1 Cache flushing} *)
+
+val on_flush : (unit -> unit) -> unit
+(** Register a cache-flush callback.  Substrates with memo caches that
+    may capture fault-corrupted results (BDD apply caches, the MSO
+    compile cache) register a reset function at init time. *)
+
+val flush_caches : unit -> unit
+(** Run every registered flush callback (newest first). *)

@@ -281,6 +281,24 @@ type env = (var * kind) list
 let cache : (formula * (var * int) list * int, Treeauto.t) Hashtbl.t =
   Hashtbl.create 4096
 
+(* Armed fault campaigns poison pure caches, so compiled automata must not
+   outlive an arm/disarm transition. *)
+let () = Faults.on_flush (fun () -> Hashtbl.reset cache)
+
+(* Fault site: quantify the wrong track — a classic off-by-one in the
+   de Bruijn-style track allocation.  The shift is downward (an enclosing
+   variable's track is erased instead of the bound one) so the corrupted
+   automaton stays small instead of diverging. *)
+let site_projection_shift =
+  Faults.register ~name:"mso.projection_shift"
+    ~descr:"project track next-1 instead of next at a quantifier"
+
+let project_bound next a =
+  let v =
+    if Faults.fire site_projection_shift then max 0 (next - 1) else next
+  in
+  Treeauto.project v a
+
 let compile env formula =
   let track tenv v =
     match List.assoc_opt v tenv with
@@ -345,7 +363,7 @@ let compile env formula =
         | _ -> ([ g ], [])
       in
       let inner =
-        Treeauto.project next
+        project_bound next
           (comp ((x, next) :: tenv) (next + 1) (and_l dependent))
       in
       Treeauto.inter_list (inner :: List.map (comp tenv next) independent)
@@ -353,7 +371,7 @@ let compile env formula =
       Treeauto.inter_list (List.map (fun g -> comp tenv next (Forall2 (x, g))) gs)
     | Forall2 (x, g) ->
       Treeauto.complement
-        (Treeauto.project next
+        (project_bound next
            (Treeauto.complement (comp ((x, next) :: tenv) (next + 1) g)))
     | Exists1 (x, Or gs) ->
       Treeauto.union_list (List.map (fun g -> comp tenv next (Exists1 (x, g))) gs)
@@ -365,7 +383,7 @@ let compile env formula =
         | _ -> ([ g ], [])
       in
       let inner =
-        Treeauto.project next
+        project_bound next
           (Treeauto.minimize
              (Treeauto.inter (auto_sing next)
                 (comp ((x, next) :: tenv) (next + 1) (and_l dependent))))
@@ -375,7 +393,7 @@ let compile env formula =
       Treeauto.inter_list (List.map (fun g -> comp tenv next (Forall1 (x, g))) gs)
     | Forall1 (x, g) ->
       Treeauto.complement
-        (Treeauto.project next
+        (project_bound next
            (Treeauto.minimize
               (Treeauto.inter (auto_sing next)
                  (Treeauto.complement (comp ((x, next) :: tenv) (next + 1) g)))))

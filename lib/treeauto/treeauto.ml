@@ -16,6 +16,31 @@ type t = {
   accept : bool array;
 }
 
+(* Fault sites for the self-validation campaign (see lib/faults): when
+   armed, [drop_transition] replaces a freshly computed pair transition by
+   the leaf transition (the pair "forgets" its operands), and
+   [swap_final] flips acceptance bits of the densely renumbered result.
+   Both corruptions leave the automaton structurally well-formed. *)
+let site_drop_transition =
+  Faults.register ~name:"treeauto.drop_transition"
+    ~descr:"replace a computed pair transition by the leaf transition"
+
+let site_swap_final =
+  Faults.register ~name:"treeauto.swap_final"
+    ~descr:"flip an acceptance bit of a constructed automaton"
+
+(* Observer invoked on every constructed automaton, tagged with the
+   operation that produced it ("explore", "minimize", "project").  The
+   validation layer installs structural checkers here; the default is a
+   no-op so the production path pays one ref read per construction. *)
+let observer : (string -> t -> unit) ref = ref (fun _ _ -> ())
+let set_observer f = observer := f
+let clear_observer () = observer := fun _ _ -> ()
+
+let observed stage a =
+  !observer stage a;
+  a
+
 (* ------------------------------------------------------------------ *)
 (* Labels and trees                                                    *)
 
@@ -85,6 +110,10 @@ let explore ~(leaf : Mtbdd.t) ~(delta : int -> int -> Mtbdd.t)
           (fun (x, y) ->
             if not (Hashtbl.mem pair_tbl (x, y)) then begin
               let m = delta x y in
+              (* Fault site: forget the operand pair.  The leaf transition
+                 is always well-formed here (its terminals were registered
+                 first), so the corruption is semantic, not structural. *)
+              let m = if Faults.fire site_drop_transition then leaf else m in
               Hashtbl.add pair_tbl (x, y) m;
               List.iter register (Mtbdd.terminals m)
             end)
@@ -101,12 +130,16 @@ let explore ~(leaf : Mtbdd.t) ~(delta : int -> int -> Mtbdd.t)
         Array.init n (fun j ->
             remap (Hashtbl.find pair_tbl (dense.(i), dense.(j)))))
   in
-  {
-    nstates = n;
-    leaf = remap leaf;
-    delta = delta_arr;
-    accept = Array.init n (fun i -> accept dense.(i));
-  }
+  observed "explore"
+    {
+      nstates = n;
+      leaf = remap leaf;
+      delta = delta_arr;
+      accept =
+        Array.init n (fun i ->
+            let b = accept dense.(i) in
+            if Faults.fire site_swap_final then not b else b);
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Explicit construction                                               *)
@@ -196,7 +229,9 @@ let complement a = { a with accept = Array.map not a.accept }
 
 let minimize a =
  if a.nstates > 200 then Log.debug (fun m -> m "start minimize: %d states" a.nstates);
- timed ~detail:(fun () -> string_of_int a.nstates) "minimize" @@ fun () ->
+ observed "minimize"
+ @@ timed ~detail:(fun () -> string_of_int a.nstates) "minimize"
+ @@ fun () ->
   let n = a.nstates in
   if n <= 1 then a
   else begin
@@ -350,7 +385,7 @@ let project v a =
   in
   let accept c = List.exists (fun q -> a.accept.(q)) (set_of c) in
   let result = explore ~leaf ~delta ~accept in
-  minimize result
+  observed "project" (minimize result)
 
 (* ------------------------------------------------------------------ *)
 (* Decision procedures                                                  *)

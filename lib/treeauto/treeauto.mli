@@ -110,3 +110,15 @@ val pp_op_stats : Format.formatter -> unit -> unit
 (** Cumulative time spent in each automaton operation. *)
 
 val reset_op_stats : unit -> unit
+
+(** {1 Construction observer}
+
+    Hook for the self-validation layer: the observer is invoked on every
+    automaton produced by {!make}, boolean combinations, {!minimize} and
+    {!project}, with a stage tag ("explore", "minimize" or "project").
+    The default is a no-op costing one ref read per construction; observers
+    must not raise. *)
+
+val set_observer : (string -> t -> unit) -> unit
+
+val clear_observer : unit -> unit

@@ -1,0 +1,391 @@
+(* Verdict self-validation: replay, structural invariants, differential
+   oracles.  See validate.mli for the contract. *)
+
+let src = Logs.Src.create "retreet.validate" ~doc:"Verdict self-validation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type level = Off | Witness | Invariants | Full
+
+let rank = function Off -> 0 | Witness -> 1 | Invariants -> 2 | Full -> 3
+let ( >=! ) a b = rank a >= rank b
+
+let level_enum =
+  [ ("off", Off); ("witness", Witness); ("invariants", Invariants);
+    ("full", Full) ]
+
+let pp_level ppf l =
+  Fmt.string ppf
+    (fst (List.find (fun (_, l') -> l = l') level_enum))
+
+type status =
+  | Passed
+  | Failed of string
+  | Unchecked of string
+
+type check = { name : string; status : status }
+
+type report = {
+  vlevel : level;
+  checks : check list;
+  query_time : float;
+  validation_time : float;
+}
+
+let ok r =
+  List.for_all (fun c -> match c.status with Failed _ -> false | _ -> true)
+    r.checks
+
+let failures r =
+  List.filter (fun c -> match c.status with Failed _ -> true | _ -> false)
+    r.checks
+
+let pp_status ppf = function
+  | Passed -> Fmt.string ppf "passed"
+  | Failed msg -> Fmt.pf ppf "FAILED: %s" msg
+  | Unchecked why -> Fmt.pf ppf "unchecked (%s)" why
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>validation (%a): %s@,%a@]" pp_level r.vlevel
+    (if ok r then "ok" else "FAILED")
+    Fmt.(list ~sep:cut
+           (fun ppf c -> Fmt.pf ppf "  %-24s %a" c.name pp_status c.status))
+    r.checks
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariants                                               *)
+
+(* Deep per-automaton scans are quadratic in the state count; above this
+   bound only the O(1) shape checks run, which keeps the observer cheap
+   on the rare large intermediate automata. *)
+let deep_limit = 96
+
+(* Two distinct states with the same acceptance and identical hash-consed
+   transition rows are equivalent, so a minimal automaton cannot contain
+   them.  One Moore-signature round — sound but deliberately not a full
+   re-minimization. *)
+let check_minimal (a : Treeauto.t) =
+  let n = a.Treeauto.nstates in
+  let seen = Hashtbl.create (2 * n) in
+  let bad = ref None in
+  for q = 0 to n - 1 do
+    if !bad = None then begin
+      let row =
+        List.init n (fun j ->
+            ( Mtbdd.hash a.Treeauto.delta.(q).(j),
+              Mtbdd.hash a.Treeauto.delta.(j).(q) ))
+      in
+      let key = (a.Treeauto.accept.(q), row) in
+      match Hashtbl.find_opt seen key with
+      | Some q' ->
+        bad :=
+          Some
+            (Printf.sprintf "states %d and %d are trivially mergeable" q' q)
+      | None -> Hashtbl.add seen key q
+    end
+  done;
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+let check_automaton stage (a : Treeauto.t) =
+  let n = a.Treeauto.nstates in
+  if n <= 0 then Error "automaton has no states"
+  else if Array.length a.Treeauto.accept <> n then
+    Error "acceptance vector length differs from the state count"
+  else if
+    Array.length a.Treeauto.delta <> n
+    || Array.exists (fun row -> Array.length row <> n) a.Treeauto.delta
+  then Error "transition table is not square"
+  else if n > deep_limit then Ok ()
+  else begin
+    let in_range m =
+      List.for_all (fun q -> q >= 0 && q < n) (Mtbdd.terminals m)
+    in
+    if not (in_range a.Treeauto.leaf) then
+      Error "leaf transition targets an out-of-range state"
+    else begin
+      let bad = ref None in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if !bad = None && not (in_range a.Treeauto.delta.(i).(j)) then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "delta(%d,%d) targets an out-of-range state" i j)
+        done
+      done;
+      match !bad with
+      | Some msg -> Error msg
+      | None ->
+        if stage = "minimize" || stage = "project" then check_minimal a
+        else Ok ()
+    end
+  end
+
+let check_stores () =
+  match Bdd.check_integrity () with
+  | Error _ as e -> e
+  | Ok () -> Mtbdd.check_integrity ()
+
+(* ------------------------------------------------------------------ *)
+(* Observer plumbing                                                   *)
+
+(* Violations are recorded, never raised: the observer runs inside the
+   query and must not disturb it.  Observer time is accounted to
+   validation, not to the query. *)
+type obs = {
+  mutable automata : int;
+  mutable violation : (string * string) option;
+  mutable time : float;
+}
+
+let with_observer enabled f =
+  let o = { automata = 0; violation = None; time = 0. } in
+  if not enabled then (f (), o)
+  else begin
+    Treeauto.set_observer (fun stage a ->
+        let t0 = Engine.now () in
+        o.automata <- o.automata + 1;
+        (if o.violation = None then
+           match check_automaton stage a with
+           | Ok () -> ()
+           | Error msg -> o.violation <- Some (stage, msg)
+           | exception _ -> ());
+        o.time <- o.time +. (Engine.now () -. t0));
+    let r =
+      Fun.protect ~finally:Treeauto.clear_observer f
+    in
+    (r, o)
+  end
+
+let invariant_checks o =
+  [
+    {
+      name = "treeauto.invariants";
+      status =
+        (match o.violation with
+        | None ->
+          if o.automata = 0 then Unchecked "no automata were constructed"
+          else Passed
+        | Some (stage, msg) ->
+          Failed (Printf.sprintf "after %s: %s" stage msg));
+    };
+    {
+      name = "stores.integrity";
+      status =
+        (match check_stores () with
+        | Ok () -> Passed
+        | Error msg -> Failed msg);
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracles                                                *)
+
+(* Run a validator on the budget left over from the query.  Out-of-budget
+   (and the fatal conditions with_budget converts) degrade the check to
+   Unchecked; any other escape from a validator is itself a failure. *)
+let under_leftover ~budget ~deadline name f =
+  let status =
+    match
+      Engine.with_budget (Engine.leftover budget ~deadline) (fun () -> f ())
+    with
+    | Ok s -> s
+    | Error reason -> Unchecked (Fmt.str "%a" Engine.pp_reason reason)
+    | exception exn -> Failed ("validator raised " ^ Printexc.to_string exn)
+  in
+  { name; status }
+
+let main_args (info : Blocks.t) =
+  match
+    List.find_opt (fun f -> f.Ast.fname = "Main") info.Blocks.prog.Ast.funcs
+  with
+  | Some f -> List.map (fun _ -> 0) f.Ast.int_params
+  | None -> []
+
+(* Common field names across the case studies; fields a program does not
+   read are simply inert. *)
+let field_names = [ "v"; "value"; "kind"; "prop"; "num"; "swapped" ]
+
+let small_heaps () =
+  let rng = Random.State.make [| 0x7e57 |] in
+  List.concat_map
+    (fun h ->
+      List.init 3 (fun _ ->
+          Heap.complete_tree ~height:h ~init:(fun _ ->
+              List.map (fun f -> (f, Random.State.int rng 12)) field_names)))
+    [ 1; 2; 3 ]
+
+(* Functions composed in parallel anywhere in the program, as pairs of
+   callee names — the granularity the coarse baseline speaks. *)
+let parallel_pairs (prog : Ast.prog) =
+  let rec calls acc = function
+    | Ast.SBlock (_, Ast.Call c) -> c.Ast.callee :: acc
+    | Ast.SBlock _ -> acc
+    | Ast.SIf (_, a, b) | Ast.SSeq (a, b) | Ast.SPar (a, b) ->
+      calls (calls acc a) b
+  in
+  let pairs = ref [] in
+  let rec go = function
+    | Ast.SPar (a, b) ->
+      List.iter
+        (fun f ->
+          List.iter (fun g -> pairs := (f, g) :: !pairs) (calls [] b))
+        (calls [] a);
+      go a;
+      go b
+    | Ast.SIf (_, a, b) | Ast.SSeq (a, b) ->
+      go a;
+      go b
+    | Ast.SBlock _ -> ()
+  in
+  List.iter (fun f -> go f.Ast.body) prog.Ast.funcs;
+  List.sort_uniq compare !pairs
+
+(* A Race_free proof must survive concrete execution: the dynamic
+   dependence oracle sees no race, and all explored schedules agree. *)
+let differential_race_free info =
+  let args = main_args info in
+  let bad = ref None in
+  List.iter
+    (fun heap ->
+      if !bad = None then
+        match Interp.run info (Heap.copy heap) args with
+        | { Interp.events; _ } ->
+          if Interp.races info events <> [] then
+            bad := Some "dynamic race observed on a concrete tree"
+          else if
+            not (Explore.deterministic ~limit:200 info
+                   (fun () -> Heap.copy heap) args)
+          then bad := Some "schedule exploration found diverging outcomes"
+        | exception Interp.Runtime_error _ -> ())
+    (small_heaps ());
+  match !bad with None -> Passed | Some msg -> Failed msg
+
+(* The coarse baseline over-approximates dependences, so Allowed is a
+   proof of independence: a Race verdict on a program whose every
+   parallel pair the baseline allows is a contradiction. *)
+let baseline_cross_check info =
+  match parallel_pairs info.Blocks.prog with
+  | [] -> Unchecked "no parallel composition in the program"
+  | pairs ->
+    if
+      List.for_all
+        (fun (f, g) ->
+          Baseline.can_parallelize info.Blocks.prog f g = Baseline.Allowed)
+        pairs
+    then
+      Failed
+        "race reported, but the coarse baseline proves the parallel \
+         traversals independent"
+    else Passed
+
+let differential_equivalent p p' =
+  let args = main_args p in
+  if
+    List.for_all
+      (fun heap -> Interp.equivalent_on p p' heap args)
+      (small_heaps ())
+  then Passed
+  else Failed "programs differ on a concrete tree"
+
+(* ------------------------------------------------------------------ *)
+(* Validated queries                                                   *)
+
+let finish ~level ~t0 ~t_query ~obs checks =
+  {
+    vlevel = level;
+    checks;
+    query_time = t_query -. t0 -. obs.time;
+    validation_time = Engine.now () -. t_query +. obs.time;
+  }
+
+let check_data_race ?(level = Witness) ?(budget = Engine.unlimited) info =
+  let deadline = Engine.absolute_deadline budget in
+  let t0 = Engine.now () in
+  let result, obs =
+    with_observer (level >=! Invariants) (fun () ->
+        Analysis.check_data_race ~budget info)
+  in
+  let t_query = Engine.now () in
+  let checks =
+    if level = Off then []
+    else begin
+      let witness_checks =
+        match result with
+        | Analysis.Race cx ->
+          [
+            under_leftover ~budget ~deadline "race.replay" (fun () ->
+                if Analysis.replay_race info cx then Passed
+                else Failed "counterexample not confirmed by concrete replay");
+          ]
+        | Analysis.Race_free | Analysis.Race_unknown _ -> []
+      in
+      let invariant = if level >=! Invariants then invariant_checks obs else [] in
+      let differential =
+        if level >=! Full then
+          match result with
+          | Analysis.Race_free ->
+            [
+              under_leftover ~budget ~deadline "race_free.differential"
+                (fun () -> differential_race_free info);
+            ]
+          | Analysis.Race _ ->
+            [
+              under_leftover ~budget ~deadline "race.baseline" (fun () ->
+                  baseline_cross_check info);
+            ]
+          | Analysis.Race_unknown _ ->
+            [ { name = "race.differential";
+                status = Unchecked "no verdict to validate" } ]
+        else []
+      in
+      witness_checks @ invariant @ differential
+    end
+  in
+  (result, finish ~level ~t0 ~t_query ~obs checks)
+
+let check_equivalence ?(level = Witness) ?(budget = Engine.unlimited) p p'
+    ~map =
+  let deadline = Engine.absolute_deadline budget in
+  let t0 = Engine.now () in
+  let result, obs =
+    with_observer (level >=! Invariants) (fun () ->
+        Analysis.check_equivalence ~budget p p' ~map)
+  in
+  let t_query = Engine.now () in
+  let checks =
+    if level = Off then []
+    else begin
+      let witness_checks =
+        match result with
+        | Analysis.Not_equivalent cx ->
+          [
+            under_leftover ~budget ~deadline "equiv.replay" (fun () ->
+                if Analysis.replay_equivalence p p' cx then Passed
+                else Failed "counterexample not confirmed by concrete replay");
+          ]
+        | Analysis.Equivalent _ | Analysis.Bisimulation_failed _
+        | Analysis.Equiv_unknown _ ->
+          []
+      in
+      let invariant = if level >=! Invariants then invariant_checks obs else [] in
+      let differential =
+        if level >=! Full then
+          match result with
+          | Analysis.Equivalent _ ->
+            [
+              under_leftover ~budget ~deadline "equiv.differential"
+                (fun () -> differential_equivalent p p');
+            ]
+          | Analysis.Bisimulation_failed _ ->
+            [ { name = "equiv.differential";
+                status = Unchecked "refutation is syntactic" } ]
+          | Analysis.Not_equivalent _ | Analysis.Equiv_unknown _ ->
+            [ { name = "equiv.differential";
+                status = Unchecked "no positive verdict to validate" } ]
+        else []
+      in
+      witness_checks @ invariant @ differential
+    end
+  in
+  (result, finish ~level ~t0 ~t_query ~obs checks)

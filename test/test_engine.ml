@@ -217,6 +217,61 @@ let test_random_budgets_sound =
       | Analysis.Equiv_unknown _ -> ());
       true)
 
+(* --- fault-injector mechanics (the verdict campaign is in
+   test_validate) --- *)
+
+let test_site =
+  Faults.register ~name:"test.engine_site" ~descr:"test-only site"
+
+let fire_positions n =
+  let fired = ref [] in
+  for i = 0 to n - 1 do
+    if Faults.fire test_site then fired := i :: !fired
+  done;
+  List.rev !fired
+
+let test_faults_deterministic () =
+  Faults.arm ~site:"test.engine_site" ~seed:7 ();
+  let a = fire_positions 200 in
+  Faults.arm ~site:"test.engine_site" ~seed:7 ();
+  let b = fire_positions 200 in
+  let count = Faults.fired_count ~site:"test.engine_site" in
+  Faults.disarm ();
+  Alcotest.(check bool) "some hits fire" true (a <> []);
+  Alcotest.(check (list int)) "same seed, same positions" a b;
+  Alcotest.(check int) "fired_count agrees" (List.length b) count;
+  Faults.arm ~site:"test.engine_site" ~seed:8 ();
+  let c = fire_positions 200 in
+  Faults.disarm ();
+  Alcotest.(check bool) "different seed, different positions" true (a <> c)
+
+let test_faults_disarmed_free () =
+  Faults.disarm ();
+  Alcotest.(check bool) "nothing armed" true (Faults.armed () = None);
+  Alcotest.(check (list int)) "disarmed never fires" [] (fire_positions 1000)
+
+let test_faults_bad_arm () =
+  (match Faults.arm ~site:"no.such.site" ~seed:1 () with
+  | () -> Alcotest.fail "unknown site accepted"
+  | exception Invalid_argument _ -> ());
+  match Faults.arm ~period:0 ~site:"test.engine_site" ~seed:1 () with
+  | () ->
+    Faults.disarm ();
+    Alcotest.fail "non-positive period accepted"
+  | exception Invalid_argument _ -> ()
+
+(* An armed fault must never escape the budget discipline: a corrupted
+   run that diverges still degrades to a typed Unknown. *)
+let test_faulted_run_stays_governed () =
+  Faults.arm ~site:"treeauto.drop_transition" ~seed:1 ();
+  Fun.protect ~finally:Faults.disarm (fun () ->
+      match
+        Analysis.check_data_race
+          ~budget:(Engine.budget ~timeout:5. ~max_steps:20_000 ())
+          (Programs.load Programs.size_counting)
+      with
+      | Analysis.Race_free | Analysis.Race _ | Analysis.Race_unknown _ -> ())
+
 let () =
   let maybe_slow name f =
     if slow then [ Alcotest.test_case name `Slow f ] else []
@@ -247,5 +302,15 @@ let () =
           Alcotest.test_case "progress monotone in budget" `Quick
             test_progress_monotone;
           QCheck_alcotest.to_alcotest test_random_budgets_sound;
+        ] );
+      ( "fault injector",
+        [
+          Alcotest.test_case "deterministic firing" `Quick
+            test_faults_deterministic;
+          Alcotest.test_case "disarmed is inert" `Quick
+            test_faults_disarmed_free;
+          Alcotest.test_case "bad arm rejected" `Quick test_faults_bad_arm;
+          Alcotest.test_case "faulted run stays budget-governed" `Quick
+            test_faulted_run_stays_governed;
         ] );
     ]
