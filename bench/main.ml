@@ -13,7 +13,7 @@
    counterexamples, and which case study dominates the cost — is
    reproduced.
 
-   Usage:  main.exe [--full] [--skip-micro] [--smoke]
+   Usage:  main.exe [--full] [--skip-micro] [--smoke] [-j N]
      --full        also run E6 (cycletree fusion) under a generous (1 h)
                    budget — mirroring the paper, where it took 490 s with
                    MONA
@@ -21,11 +21,22 @@
      --smoke       CI smoke mode: only the budget-capped verification
                    subset (fast queries under 60 s, heavy ones under
                    ~10 s, Unknown allowed for the heavy ones); exits
-                   nonzero on any wrong or missing definite verdict *)
+                   nonzero on any wrong or missing definite verdict.
+                   Also runs the parallel batch comparison (serial vs
+                   -j N worker domains, default 4) and writes the
+                   machine-readable BENCH_parallel.json *)
 
 let full = Array.exists (( = ) "--full") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+let jobs =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "-j" then int_of_string_opt Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  max 1 (Option.value (find 1) ~default:4)
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -501,11 +512,65 @@ let smoke_suite () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Parallel batch: serial vs multi-domain wall clock on the bundled
+   programs' race queries, with a verdict-change cross-check.            *)
+
+let verdict_class = function
+  | Ok Analysis.Race_free -> "race-free"
+  | Ok (Analysis.Race _) -> "race"
+  | Ok (Analysis.Race_unknown _) -> "unknown"
+  | Error _ -> "cancelled"
+
+let parallel_suite () =
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "@.== Parallel batch: serial vs -j %d (%d core%s available) ==@."
+    jobs cores (if cores = 1 then "" else "s");
+  let progs =
+    List.map (fun (n, s) -> (n, Programs.load s)) Programs.all_named
+  in
+  let tasks =
+    List.map (fun (_, info) budget -> Analysis.check_data_race ~budget info)
+      progs
+  in
+  let serial, t_serial = time (fun () -> Pool.run_batch ~jobs:1 tasks) in
+  let par, t_par = time (fun () -> Pool.run_batch ~jobs tasks) in
+  let changes =
+    List.fold_left2
+      (fun n a b -> if verdict_class a = verdict_class b then n else n + 1)
+      0 serial par
+  in
+  List.iter2
+    (fun (name, _) r -> Fmt.pr "  %-28s %s@." name (verdict_class r))
+    progs serial;
+  let speedup = if t_par > 0. then t_serial /. t_par else 0. in
+  Fmt.pr "  %-28s serial %.2fs   -j %d %.2fs   speedup %.2fx   verdict \
+          changes %d@."
+    (Printf.sprintf "aggregate (%d queries)" (List.length progs))
+    t_serial jobs t_par speedup changes;
+  if cores = 1 then
+    Fmt.pr "  (single-core host: domains timeshare one CPU, so ~1x is the \
+            physical ceiling here)@.";
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n  \"cores\": %d,\n  \"jobs\": %d,\n  \"tasks\": %d,\n  \
+     \"serial_wall_s\": %.3f,\n  \"parallel_wall_s\": %.3f,\n  \
+     \"speedup\": %.3f,\n  \"verdict_changes\": %d\n}\n"
+    cores jobs (List.length progs) t_serial t_par speedup changes;
+  close_out oc;
+  Fmt.pr "  wrote BENCH_parallel.json@.";
+  if changes > 0 then begin
+    Fmt.pr "parallel: %d verdict change(s) between serial and -j %d@."
+      changes jobs;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   if smoke then begin
     Fmt.pr "Retreet benchmark harness — smoke mode@.@.";
     smoke_suite ();
+    parallel_suite ();
     exit 0
   end;
   Fmt.pr "Retreet benchmark harness (paper: PPoPP 2021 evaluation)@.@.";

@@ -137,8 +137,13 @@ let inject_arg =
            $(b,--inject bdd.branch_flip:7).  Use $(b,--inject list) to \
            list the registered sites.")
 
-let apply_inject = function
-  | None -> ()
+(* Parse an --inject spec into an arming thunk without arming yet: the
+   single-query commands arm once up front; [batch] re-arms per query
+   (on whichever domain runs it) so every query sees the same fault hit
+   sequence it would see in its own process.  "list" and malformed
+   specs exit immediately either way. *)
+let parse_inject = function
+  | None -> None
   | Some "list" ->
     List.iter
       (fun (name, descr) -> Fmt.pr "%-24s %s@." name descr)
@@ -155,14 +160,21 @@ let apply_inject = function
     in
     let arm site seed period =
       match (int_of_string_opt seed, period) with
-      | Some seed, Some period -> (
-        try Faults.arm ~period ~site ~seed () with Invalid_argument _ -> fail ())
+      | Some seed, Some period ->
+        (* validate the site name now, not on the first arm *)
+        (try ignore (Faults.arm ~period ~site ~seed ())
+         with Invalid_argument _ -> fail ());
+        Faults.disarm ();
+        Some (fun () -> Faults.arm ~period ~site ~seed ())
       | _ -> fail ()
     in
     match String.split_on_char ':' spec with
     | [ site; seed ] -> arm site seed (Some 13)
     | [ site; seed; p ] -> arm site seed (int_of_string_opt p)
     | _ -> fail ())
+
+let apply_inject inject =
+  match parse_inject inject with None -> () | Some arm -> arm ()
 
 (* Shared epilogue of the validated commands: print the report when it
    is interesting, and escalate the exit code on a failed check. *)
@@ -245,6 +257,89 @@ let race_cmd =
     Term.(
       const run $ verbose_arg $ budget_term $ validate_arg $ inject_arg
       $ file_arg 0 "Program file or builtin:NAME.")
+
+(* --- batch --- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the batch.  $(b,0) and $(b,1) run the \
+           queries serially on the calling domain; either way each query \
+           runs on cold solver state, so the output is byte-identical \
+           for every $(b,-j).")
+
+let batch_cmd =
+  let run verbose jobs budget vlevel inject files =
+    setup_logs verbose;
+    let arm = parse_inject inject in
+    (* Parse everything up front on the main domain: a parse or
+       well-formedness error is a usage error (exit 2) for the whole
+       batch, before any query runs. *)
+    let infos = List.map (fun f -> (f, load_source f)) files in
+    let tasks =
+      List.map
+        (fun (_, info) task_budget ->
+          let query () =
+            Validate.check_data_race ~level:vlevel ~budget:task_budget info
+          in
+          match arm with
+          | None -> query ()
+          | Some arm ->
+            (* re-armed per query, on the domain that runs it, so every
+               query sees the hit sequence it would see alone *)
+            arm ();
+            Fun.protect ~finally:Faults.disarm query)
+        infos
+    in
+    let results = Pool.run_batch ~jobs ~budget tasks in
+    let codes =
+      List.map2
+        (fun (file, _) result ->
+          let text, code =
+            match result with
+            | Error reason ->
+              (Fmt.str "UNKNOWN: %a" Engine.pp_reason reason, exit_unknown)
+            | Ok (verdict, report) ->
+              let text, code =
+                match verdict with
+                | Analysis.Race_free -> ("data-race-free", 0)
+                | Analysis.Race _ -> ("DATA RACE", 1)
+                | Analysis.Race_unknown u ->
+                  (Fmt.str "UNKNOWN: %a" Analysis.pp_progress u, exit_unknown)
+              in
+              if Validate.ok report then (text, code)
+              else
+                ( text ^ "  [verdict FAILED self-validation]",
+                  exit_validation_failed )
+          in
+          Fmt.pr "%s: %s@." file text;
+          code)
+        infos results
+    in
+    (* Exit with the most severe per-query code: usage (2) trumps failed
+       validation (4), which trumps a counterexample (1), which trumps
+       unknown (3), which trumps an all-clear (0). *)
+    let severity = function 2 -> 4 | 4 -> 3 | 1 -> 2 | 3 -> 1 | _ -> 0 in
+    List.fold_left
+      (fun worst c -> if severity c > severity worst then c else worst)
+      0 codes
+  in
+  Cmd.v
+    (Cmd.info "batch" ~exits
+       ~doc:
+         "Run the data-race query on many programs, optionally on \
+          parallel worker domains ($(b,-j)).  Prints one line per \
+          program, in argument order, and exits with the most severe \
+          per-program code.")
+    Term.(
+      const run $ verbose_arg $ jobs_arg $ budget_term $ validate_arg
+      $ inject_arg
+      $ Arg.(
+          non_empty & pos_all string []
+          & info [] ~docv:"FILE" ~doc:"Program files or builtin:NAMEs."))
 
 (* --- equiv --- *)
 
@@ -444,8 +539,8 @@ let () =
   let main =
     Cmd.group (Cmd.info "retreet" ~doc)
       [
-        check_cmd; race_cmd; equiv_cmd; run_cmd; fuse_cmd; baseline_cmd;
-        mona_cmd;
+        check_cmd; race_cmd; batch_cmd; equiv_cmd; run_cmd; fuse_cmd;
+        baseline_cmd; mona_cmd;
       ]
   in
   exit (Cmd.eval' main)

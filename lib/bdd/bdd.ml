@@ -1,6 +1,11 @@
 (* Hash-consed ROBDDs.  The unique table maps (var, lo.id, hi.id) to the
    canonical node; the reduction rule [lo == hi -> lo] is applied at
-   construction, so [==] on [t] is semantic equality. *)
+   construction, so [==] on [t] is semantic equality.
+
+   All mutable state — the unique table and the operation memo tables —
+   lives in the current {!Solver_ctx}, one per domain, so diagrams from
+   different contexts never share structure (and [==] is only meaningful
+   between diagrams built in the same context). *)
 
 type var = int
 
@@ -38,34 +43,9 @@ end
 
 module Unique = Hashtbl.Make (Key)
 
-let unique : t Unique.t = Unique.create 65536
-let next_id = ref 2
-
-let mk v lo hi =
-  let lo, hi = if Faults.fire site_branch_flip then (hi, lo) else (lo, hi) in
-  if lo == hi then lo
-  else
-    let key = (v, id lo, id hi) in
-    match Unique.find_opt unique key with
-    | Some n -> n
-    | None ->
-      Engine.note_bdd_node ();
-      let n = Node { id = !next_id; v; lo; hi } in
-      incr next_id;
-      Unique.add unique key n;
-      n
-
-let var v =
-  if v < 0 then invalid_arg "Bdd.var: negative variable";
-  mk v False True
-
-let nvar v =
-  if v < 0 then invalid_arg "Bdd.nvar: negative variable";
-  mk v True False
-
-(* Memo tables for the binary operations.  Keys are id pairs; tables are
-   global and grow monotonically, which is acceptable for the formula sizes
-   this library targets (queries allocate a few hundred thousand nodes). *)
+(* Memo tables for the binary operations.  Keys are id pairs; tables
+   grow monotonically within a context, which is acceptable for the
+   formula sizes this library targets. *)
 module Pair = struct
   type t = int * int
 
@@ -74,6 +54,47 @@ module Pair = struct
 end
 
 module Memo2 = Hashtbl.Make (Pair)
+
+(* The per-context state.  Node ids start at 2 (0/1 are the constants). *)
+type st = {
+  unique : t Unique.t;
+  mutable next_id : int;
+  neg_memo : t Memo2.t;
+  apply_cache : t Memo2.t Memo2.t;
+}
+
+let slot =
+  Solver_ctx.Slot.create (fun () ->
+      {
+        unique = Unique.create 65536;
+        next_id = 2;
+        neg_memo = Memo2.create 4096;
+        apply_cache = Memo2.create 8;
+      })
+
+let st () = Solver_ctx.get_current slot
+
+let mk st v lo hi =
+  let lo, hi = if Faults.fire site_branch_flip then (hi, lo) else (lo, hi) in
+  if lo == hi then lo
+  else
+    let key = (v, id lo, id hi) in
+    match Unique.find_opt st.unique key with
+    | Some n -> n
+    | None ->
+      Engine.note_bdd_node ();
+      let n = Node { id = st.next_id; v; lo; hi } in
+      st.next_id <- st.next_id + 1;
+      Unique.add st.unique key n;
+      n
+
+let var v =
+  if v < 0 then invalid_arg "Bdd.var: negative variable";
+  mk (st ()) v False True
+
+let nvar v =
+  if v < 0 then invalid_arg "Bdd.nvar: negative variable";
+  mk (st ()) v True False
 
 let top_var a b =
   match (a, b) with
@@ -86,72 +107,82 @@ let cofactors v t =
   | Node { v = v'; lo; hi; _ } when v' = v -> (lo, hi)
   | _ -> (t, t)
 
-let neg_memo : t Memo2.t = Memo2.create 4096
-
-let rec neg t =
-  match t with
-  | False -> True
-  | True -> False
-  | Node { id = i; v; lo; hi } -> (
-    let key = (i, i) in
-    match Memo2.find_opt neg_memo key with
-    | Some r -> r
-    | None ->
-      let r = mk v (neg lo) (neg hi) in
-      Memo2.add neg_memo key r;
-      r)
-
-let apply_cache : t Memo2.t Memo2.t = Memo2.create 8
+let neg t =
+  let st = st () in
+  let rec go t =
+    match t with
+    | False -> True
+    | True -> False
+    | Node { id = i; v; lo; hi } -> (
+      let key = (i, i) in
+      match Memo2.find_opt st.neg_memo key with
+      | Some r -> r
+      | None ->
+        let r = mk st v (go lo) (go hi) in
+        Memo2.add st.neg_memo key r;
+        r)
+  in
+  go t
 
 (* A fresh memo table per operation identity.  Operations are identified by a
    small integer tag rather than closure identity. *)
-let op_table tag =
-  match Memo2.find_opt apply_cache (tag, tag) with
+let op_table st tag =
+  match Memo2.find_opt st.apply_cache (tag, tag) with
   | Some tbl -> tbl
   | None ->
     let tbl = Memo2.create 4096 in
-    Memo2.add apply_cache (tag, tag) tbl;
+    Memo2.add st.apply_cache (tag, tag) tbl;
     tbl
 
-let rec apply tag f a b =
-  match f a b with
-  | Some r -> r
-  | None -> (
-    let tbl = op_table tag in
-    let key = (id a, id b) in
-    match Memo2.find_opt tbl key with
+let apply tag f a b =
+  let st = st () in
+  let tbl = op_table st tag in
+  let rec go a b =
+    match f a b with
     | Some r -> r
-    | None ->
-      let v = top_var a b in
-      let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
-      let r = mk v (apply tag f a0 b0) (apply tag f a1 b1) in
-      Memo2.add tbl key r;
-      r)
+    | None -> (
+      let key = (id a, id b) in
+      match Memo2.find_opt tbl key with
+      | Some r -> r
+      | None ->
+        let v = top_var a b in
+        let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
+        let r = mk st v (go a0 b0) (go a1 b1) in
+        Memo2.add tbl key r;
+        r)
+  in
+  go a b
 
-let conj =
-  apply 1 (fun a b ->
+let conj a b =
+  apply 1
+    (fun a b ->
       if a == False || b == False then Some False
       else if a == True then Some b
       else if b == True then Some a
       else if a == b then Some a
       else None)
+    a b
 
-let disj =
-  apply 2 (fun a b ->
+let disj a b =
+  apply 2
+    (fun a b ->
       if a == True || b == True then Some True
       else if a == False then Some b
       else if b == False then Some a
       else if a == b then Some a
       else None)
+    a b
 
-let xor =
-  apply 3 (fun a b ->
+let xor a b =
+  apply 3
+    (fun a b ->
       if a == False then Some b
       else if b == False then Some a
       else if a == True then Some (neg b)
       else if b == True then Some (neg a)
       else if a == b then Some False
       else None)
+    a b
 
 let imp a b = disj (neg a) b
 let iff a b = neg (xor a b)
@@ -159,31 +190,39 @@ let ite c a b = disj (conj c a) (conj (neg c) b)
 let conj_list l = List.fold_left conj top l
 let disj_list l = List.fold_left disj bot l
 
-let rec restrict t v b =
-  match t with
-  | False | True -> t
-  | Node { v = v'; lo; hi; _ } ->
-    if v' > v then t
-    else if v' = v then if b then hi else lo
-    else mk v' (restrict lo v b) (restrict hi v b)
+let restrict t v b =
+  let st = st () in
+  let rec go t =
+    match t with
+    | False | True -> t
+    | Node { v = v'; lo; hi; _ } ->
+      if v' > v then t
+      else if v' = v then if b then hi else lo
+      else mk st v' (go lo) (go hi)
+  in
+  go t
 
 let exists v t = disj (restrict t v false) (restrict t v true)
 let forall v t = conj (restrict t v false) (restrict t v true)
 
-let rec rename r t =
-  match t with
-  | False | True -> t
-  | Node { v; lo; hi; _ } ->
-    let v' = r v in
-    let lo' = rename r lo and hi' = rename r hi in
-    (* The renaming must keep the new variable above both sub-diagrams. *)
-    let check = function
-      | Node { v = w; _ } -> assert (v' < w)
-      | _ -> ()
-    in
-    check lo';
-    check hi';
-    mk v' lo' hi'
+let rename r t =
+  let st = st () in
+  let rec go t =
+    match t with
+    | False | True -> t
+    | Node { v; lo; hi; _ } ->
+      let v' = r v in
+      let lo' = go lo and hi' = go hi in
+      (* The renaming must keep the new variable above both sub-diagrams. *)
+      let check = function
+        | Node { v = w; _ } -> assert (v' < w)
+        | _ -> ()
+      in
+      check lo';
+      check hi';
+      mk st v' lo' hi'
+  in
+  go t
 
 let rec eval rho t =
   match t with
@@ -268,11 +307,13 @@ let rec pp ppf t =
 (* Self-validation                                                     *)
 
 (* Sweep the unique table and re-check the ROBDD representation
-   invariants on every node ever built: the key matches the node
-   (hash-consing consistency), no node has equal cofactors (reducedness),
-   and each variable sits strictly above the variables of its cofactors
-   (ordering).  O(table size); run at query boundaries, not per node. *)
+   invariants on every node ever built in the current context: the key
+   matches the node (hash-consing consistency), no node has equal
+   cofactors (reducedness), and each variable sits strictly above the
+   variables of its cofactors (ordering).  O(table size); run at query
+   boundaries, not per node. *)
 let check_integrity () =
+  let st = st () in
   let level = function False | True -> max_int | Node { v; _ } -> v in
   let bad = ref None in
   Unique.iter
@@ -290,13 +331,15 @@ let check_integrity () =
             bad := Some (Printf.sprintf "unreduced node at x%d" v)
           else if v >= level lo || v >= level hi then
             bad := Some (Printf.sprintf "variable order violated at x%d" v))
-    unique;
+    st.unique;
   match !bad with None -> Ok () | Some msg -> Error ("bdd: " ^ msg)
 
 (* Armed fault runs may cache results computed from flipped nodes; drop
-   the (pure, recomputable) memo tables so later runs start clean.  The
-   unique table is kept: its nodes are well-formed and shared. *)
+   the (pure, recomputable) memo tables of the current context so later
+   runs start clean.  The unique table is kept: its nodes are well-formed
+   and shared. *)
 let () =
   Faults.on_flush (fun () ->
-      Memo2.reset neg_memo;
-      Memo2.reset apply_cache)
+      let st = st () in
+      Memo2.reset st.neg_memo;
+      Memo2.reset st.apply_cache)

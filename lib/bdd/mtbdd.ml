@@ -1,4 +1,6 @@
-(* Hash-consed MTBDDs with int terminals; same ordering discipline as Bdd. *)
+(* Hash-consed MTBDDs with int terminals; same ordering discipline as Bdd.
+   Mutable state (node/leaf tables, memo tables) lives in the current
+   Solver_ctx, as in Bdd. *)
 
 type var = int
 
@@ -21,33 +23,6 @@ end
 
 module NodeTbl = Hashtbl.Make (NodeKey)
 
-let node_tbl : t NodeTbl.t = NodeTbl.create 65536
-let leaf_tbl : (int, t) Hashtbl.t = Hashtbl.create 256
-let next_id = ref 0
-
-let const value =
-  match Hashtbl.find_opt leaf_tbl value with
-  | Some l -> l
-  | None ->
-    Engine.note_bdd_node ();
-    let l = Leaf { id = !next_id; value } in
-    incr next_id;
-    Hashtbl.add leaf_tbl value l;
-    l
-
-let mk v lo hi =
-  if lo == hi then lo
-  else
-    let key = (v, id lo, id hi) in
-    match NodeTbl.find_opt node_tbl key with
-    | Some n -> n
-    | None ->
-      Engine.note_bdd_node ();
-      let n = Node { id = !next_id; v; lo; hi } in
-      incr next_id;
-      NodeTbl.add node_tbl key n;
-      n
-
 module Pair = struct
   type t = int * int
 
@@ -56,6 +31,51 @@ module Pair = struct
 end
 
 module Memo2 = Hashtbl.Make (Pair)
+
+type st = {
+  node_tbl : t NodeTbl.t;
+  leaf_tbl : (int, t) Hashtbl.t;
+  mutable next_id : int;
+  ite_memo : t Memo2.t Memo2.t;
+  op_tables : t Memo2.t Memo2.t;
+}
+
+let slot =
+  Solver_ctx.Slot.create (fun () ->
+      {
+        node_tbl = NodeTbl.create 65536;
+        leaf_tbl = Hashtbl.create 256;
+        next_id = 0;
+        ite_memo = Memo2.create 64;
+        op_tables = Memo2.create 8;
+      })
+
+let st () = Solver_ctx.get_current slot
+
+let const_in st value =
+  match Hashtbl.find_opt st.leaf_tbl value with
+  | Some l -> l
+  | None ->
+    Engine.note_bdd_node ();
+    let l = Leaf { id = st.next_id; value } in
+    st.next_id <- st.next_id + 1;
+    Hashtbl.add st.leaf_tbl value l;
+    l
+
+let const value = const_in (st ()) value
+
+let mk st v lo hi =
+  if lo == hi then lo
+  else
+    let key = (v, id lo, id hi) in
+    match NodeTbl.find_opt st.node_tbl key with
+    | Some n -> n
+    | None ->
+      Engine.note_bdd_node ();
+      let n = Node { id = st.next_id; v; lo; hi } in
+      st.next_id <- st.next_id + 1;
+      NodeTbl.add st.node_tbl key n;
+      n
 
 let level = function
   | Leaf _ -> max_int
@@ -67,20 +87,19 @@ let cofactors v t =
   | _ -> (t, t)
 
 (* ite with a Bdd guard. *)
-let ite_memo : t Memo2.t Memo2.t = Memo2.create 64
-
 let ite g a b =
+  let st = st () in
   let rec go g a b =
     if a == b then a
     else if Bdd.is_top g then a
     else if Bdd.is_bot g then b
     else begin
       let tbl =
-        match Memo2.find_opt ite_memo (Bdd.hash g, Bdd.hash g) with
+        match Memo2.find_opt st.ite_memo (Bdd.hash g, Bdd.hash g) with
         | Some tbl -> tbl
         | None ->
           let tbl = Memo2.create 64 in
-          Memo2.add ite_memo (Bdd.hash g, Bdd.hash g) tbl;
+          Memo2.add st.ite_memo (Bdd.hash g, Bdd.hash g) tbl;
           tbl
       in
       let key = (id a, id b) in
@@ -95,28 +114,27 @@ let ite g a b =
         let v = min gv (min (level a) (level b)) in
         let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
         let g0 = Bdd.restrict g v false and g1 = Bdd.restrict g v true in
-        let r = mk v (go g0 a0 b0) (go g1 a1 b1) in
+        let r = mk st v (go g0 a0 b0) (go g1 a1 b1) in
         Memo2.add tbl key r;
         r
     end
   in
   go g a b
 
-let op_tables : t Memo2.t Memo2.t = Memo2.create 8
-
-let op_table tag =
-  match Memo2.find_opt op_tables (tag, tag) with
+let op_table st tag =
+  match Memo2.find_opt st.op_tables (tag, tag) with
   | Some tbl -> tbl
   | None ->
     let tbl = Memo2.create 4096 in
-    Memo2.add op_tables (tag, tag) tbl;
+    Memo2.add st.op_tables (tag, tag) tbl;
     tbl
 
 let apply2 ~tag f a b =
-  let tbl = op_table tag in
+  let st = st () in
+  let tbl = op_table st tag in
   let rec go a b =
     match (a, b) with
-    | Leaf { value = x; _ }, Leaf { value = y; _ } -> const (f x y)
+    | Leaf { value = x; _ }, Leaf { value = y; _ } -> const_in st (f x y)
     | _ -> (
       let key = (id a, id b) in
       match Memo2.find_opt tbl key with
@@ -124,32 +142,34 @@ let apply2 ~tag f a b =
       | None ->
         let v = min (level a) (level b) in
         let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
-        let r = mk v (go a0 b0) (go a1 b1) in
+        let r = mk st v (go a0 b0) (go a1 b1) in
         Memo2.add tbl key r;
         r)
   in
   go a b
 
 let map ~tag f t =
-  let tbl = op_table (tag lxor 0x55555555) in
+  let st = st () in
+  let tbl = op_table st (tag lxor 0x55555555) in
   let rec go t =
     match t with
-    | Leaf { value; _ } -> const (f value)
+    | Leaf { value; _ } -> const_in st (f value)
     | Node { id = i; v; lo; hi } -> (
       match Memo2.find_opt tbl (i, i) with
       | Some r -> r
       | None ->
-        let r = mk v (go lo) (go hi) in
+        let r = mk st v (go lo) (go hi) in
         Memo2.add tbl (i, i) r;
         r)
   in
   go t
 
 let apply2_nocache f a b =
+  let st = st () in
   let tbl = Hashtbl.create 64 in
   let rec go a b =
     match (a, b) with
-    | Leaf { value = x; _ }, Leaf { value = y; _ } -> const (f x y)
+    | Leaf { value = x; _ }, Leaf { value = y; _ } -> const_in st (f x y)
     | _ -> (
       let key = (id a, id b) in
       match Hashtbl.find_opt tbl key with
@@ -157,17 +177,18 @@ let apply2_nocache f a b =
       | None ->
         let v = min (level a) (level b) in
         let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
-        let r = mk v (go a0 b0) (go a1 b1) in
+        let r = mk st v (go a0 b0) (go a1 b1) in
         Hashtbl.add tbl key r;
         r)
   in
   go a b
 
 let combiner f =
+  let st = st () in
   let tbl = Hashtbl.create 4096 in
   let rec go a b =
     match (a, b) with
-    | Leaf { value = x; _ }, Leaf { value = y; _ } -> const (f x y)
+    | Leaf { value = x; _ }, Leaf { value = y; _ } -> const_in st (f x y)
     | _ -> (
       let key = (id a, id b) in
       match Hashtbl.find_opt tbl key with
@@ -175,22 +196,23 @@ let combiner f =
       | None ->
         let v = min (level a) (level b) in
         let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
-        let r = mk v (go a0 b0) (go a1 b1) in
+        let r = mk st v (go a0 b0) (go a1 b1) in
         Hashtbl.add tbl key r;
         r)
   in
   go
 
 let map_nocache f t =
+  let st = st () in
   let tbl = Hashtbl.create 64 in
   let rec go t =
     match t with
-    | Leaf { value; _ } -> const (f value)
+    | Leaf { value; _ } -> const_in st (f value)
     | Node { id = i; v; lo; hi } -> (
       match Hashtbl.find_opt tbl i with
       | Some r -> r
       | None ->
-        let r = mk v (go lo) (go hi) in
+        let r = mk st v (go lo) (go hi) in
         Hashtbl.add tbl i r;
         r)
   in
@@ -251,13 +273,17 @@ let find_terminal t k =
   in
   go [] t
 
-let rec restrict t v b =
-  match t with
-  | Leaf _ -> t
-  | Node { v = v'; lo; hi; _ } ->
-    if v' > v then t
-    else if v' = v then if b then hi else lo
-    else mk v' (restrict lo v b) (restrict hi v b)
+let restrict t v b =
+  let st = st () in
+  let rec go t =
+    match t with
+    | Leaf _ -> t
+    | Node { v = v'; lo; hi; _ } ->
+      if v' > v then t
+      else if v' = v then if b then hi else lo
+      else mk st v' (go lo) (go hi)
+  in
+  go t
 
 let support t =
   let seen = Hashtbl.create 16 in
@@ -300,9 +326,10 @@ let rec pp ppf t =
 
 (* ------------------------------------------------------------------ *)
 (* Self-validation: same representation sweep as {!Bdd.check_integrity},
-   over the MTBDD tables. *)
+   over the current context's MTBDD tables. *)
 
 let check_integrity () =
+  let st = st () in
   let bad = ref None in
   NodeTbl.iter
     (fun (v, lo_id, hi_id) n ->
@@ -319,7 +346,7 @@ let check_integrity () =
             bad := Some (Printf.sprintf "unreduced node at x%d" v)
           else if v >= level lo || v >= level hi then
             bad := Some (Printf.sprintf "variable order violated at x%d" v))
-    node_tbl;
+    st.node_tbl;
   if !bad = None then
     Hashtbl.iter
       (fun value n ->
@@ -327,10 +354,11 @@ let check_integrity () =
           match n with
           | Leaf { value = v'; _ } when v' = value -> ()
           | _ -> bad := Some "leaf-table entry does not match its value")
-      leaf_tbl;
+      st.leaf_tbl;
   match !bad with None -> Ok () | Some msg -> Error ("mtbdd: " ^ msg)
 
 let () =
   Faults.on_flush (fun () ->
-      Memo2.reset ite_memo;
-      Memo2.reset op_tables)
+      let st = st () in
+      Memo2.reset st.ite_memo;
+      Memo2.reset st.op_tables)

@@ -61,7 +61,13 @@ type state = {
   mutable steps : int;
 }
 
-let current : state option ref = ref None
+(* The installed budget is domain-local: each domain (pool workers
+   included) runs its own nest of [with_budget] extents, and a budget
+   installed on one domain never throttles another. *)
+let dls_current : state option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get dls_current
 
 let out resource used limit = raise (Out_of_budget { resource; used; limit })
 
@@ -75,7 +81,7 @@ let check_deadline st =
   end
 
 let tick () =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some st ->
     st.steps <- st.steps + 1;
@@ -83,7 +89,7 @@ let tick () =
     check_deadline st
 
 let note_bdd_node () =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some st ->
     st.nodes <- st.nodes + 1;
@@ -91,7 +97,7 @@ let note_bdd_node () =
     if st.nodes land 1023 = 0 then check_deadline st
 
 let check_states n =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some st -> if n > st.state_limit then out Auto_states n st.state_limit
 
@@ -114,7 +120,7 @@ let leftover b ~deadline = slice b ~deadline ~over:1
 let install b =
   let now = Unix.gettimeofday () in
   let p_deadline, p_nodes, p_states, p_steps =
-    match !current with
+    match !(current ()) with
     | None -> (infinity, max_int, max_int, max_int)
     | Some p ->
       ( p.deadline,
@@ -154,15 +160,16 @@ let guarded f =
     Error { resource = Heap_memory; used = 0; limit = 0 }
 
 let with_budget b f =
-  let parent = !current in
+  let cell = current () in
+  let parent = !cell in
   if parent = None && is_unlimited b then
     (* the default path: no state installed, hooks stay no-ops *)
     guarded f
   else begin
     let st = install b in
-    current := Some st;
+    cell := Some st;
     let restore () =
-      current := parent;
+      cell := parent;
       match parent with
       | Some p ->
         (* charge consumption back so sibling extents share the caps *)

@@ -1,11 +1,15 @@
-(* Deterministic seeded fault injection.  See faults.mli for the contract. *)
+(* Deterministic seeded fault injection.  See faults.mli for the contract.
 
-type site = {
-  name : string;
-  descr : string;
-  mutable hits : int;  (* hook invocations since the site was armed *)
-  mutable fired : int;  (* how many of those actually fired *)
-}
+   The site registry and the flush-callback list are written only during
+   module initialization (which happens once, on the domain that loads
+   the program) and read-only afterwards.  The armed state — which site
+   is armed, with which seed, and how many hits it has seen — is
+   domain-local: arming on one domain never makes another domain's
+   solver misbehave, and a pool worker that arms a site per query gets a
+   hit sequence that depends only on that query, not on what other
+   workers are doing. *)
+
+type site = { name : string; descr : string }
 
 let registry : (string, site) Hashtbl.t = Hashtbl.create 16
 
@@ -13,7 +17,7 @@ let register ~name ~descr =
   match Hashtbl.find_opt registry name with
   | Some s -> s
   | None ->
-    let s = { name; descr; hits = 0; fired = 0 } in
+    let s = { name; descr } in
     Hashtbl.add registry name s;
     s
 
@@ -31,38 +35,41 @@ let find_site name =
       (Printf.sprintf "Faults: unknown site %S (known: %s)" name
          (String.concat ", " (List.map fst (all_sites ()))))
 
-type armed_state = { target : site; seed : int; period : int }
+type armed_state = {
+  target : site;
+  seed : int;
+  period : int;
+  mutable hits : int;  (* hook invocations since the site was armed *)
+  mutable fired : int;  (* how many of those actually fired *)
+}
 
-(* The armed site, if any.  [fire] reads this ref once on the disabled
-   path; everything else happens only while a site is armed. *)
-let state : armed_state option ref = ref None
+(* The armed site of the current domain, if any.  [fire] reads this ref
+   once on the disabled path; everything else happens only while a site
+   is armed. *)
+let dls_state : armed_state option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-(* Flush callbacks, newest first. *)
+let state () = Domain.DLS.get dls_state
+
+(* Flush callbacks, newest first.  Registered at module-initialization
+   time only; the callbacks themselves flush the *current* domain's
+   solver caches. *)
 let flushers : (unit -> unit) list ref = ref []
 let on_flush f = flushers := f :: !flushers
 let flush_caches () = List.iter (fun f -> f ()) !flushers
 
-let reset_counters () =
-  Hashtbl.iter
-    (fun _ s ->
-      s.hits <- 0;
-      s.fired <- 0)
-    registry
-
 let arm ?(period = 13) ~site ~seed () =
   if period <= 0 then invalid_arg "Faults.arm: period must be positive";
   let target = find_site site in
-  reset_counters ();
   flush_caches ();
-  state := Some { target; seed; period }
+  state () := Some { target; seed; period; hits = 0; fired = 0 }
 
 let disarm () =
-  state := None;
-  reset_counters ();
+  state () := None;
   flush_caches ()
 
 let armed () =
-  match !state with
+  match !(state ()) with
   | None -> None
   | Some { target; seed; _ } -> Some (target.name, seed)
 
@@ -78,15 +85,19 @@ let fires_at ~name ~seed k =
   h land max_int
 
 let fire s =
-  match !state with
+  match !(state ()) with
   | None -> false
   | Some { target; _ } when target != s -> false
-  | Some { target; seed; period } ->
-    target.hits <- target.hits + 1;
-    if fires_at ~name:target.name ~seed target.hits mod period = 0 then begin
-      target.fired <- target.fired + 1;
+  | Some ({ target; seed; period; _ } as st) ->
+    st.hits <- st.hits + 1;
+    if fires_at ~name:target.name ~seed st.hits mod period = 0 then begin
+      st.fired <- st.fired + 1;
       true
     end
     else false
 
-let fired_count ~site = (find_site site).fired
+let fired_count ~site =
+  let s = find_site site in
+  match !(state ()) with
+  | Some st when st.target == s -> st.fired
+  | _ -> 0

@@ -40,12 +40,15 @@ let ghost_sym block_id k = Printf.sprintf "r:%d:%d" block_id k
    functions in different programs produce identical (normalizable) join
    symbols — the bisimulation check compares path-condition atoms across
    programs. *)
-let join_counter = ref 0
-let reset_join_counter () = join_counter := 0
+let dls_join_counter : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_join_counter () = Domain.DLS.get dls_join_counter := 0
 
 let join_sym fname x =
-  incr join_counter;
-  Printf.sprintf "j:%s:%s:%d" fname x !join_counter
+  let counter = Domain.DLS.get dls_join_counter in
+  incr counter;
+  Printf.sprintf "j:%s:%s:%d" fname x !counter
 
 module SM = Map.Make (String)
 module FM = Map.Make (struct

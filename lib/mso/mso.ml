@@ -277,13 +277,20 @@ type env = (var * kind) list
 (* Persistent subformula cache: queries within a session share compiled
    automata (e.g. the same Configuration formula across many block-pair
    queries).  Keyed by the formula, the track assignment of its free
-   variables, and the next free track. *)
-let cache : (formula * (var * int) list * int, Treeauto.t) Hashtbl.t =
-  Hashtbl.create 4096
+   variables, and the next free track.  The cache lives in the current
+   solver context: cached automata hold BDDs hash-consed in that context,
+   so sharing them across contexts (or domains) would break physical
+   equality. *)
+let cache_slot :
+    (formula * (var * int) list * int, Treeauto.t) Hashtbl.t
+    Solver_ctx.Slot.slot =
+  Solver_ctx.Slot.create (fun () -> Hashtbl.create 4096)
+
+let cache () = Solver_ctx.get_current cache_slot
 
 (* Armed fault campaigns poison pure caches, so compiled automata must not
    outlive an arm/disarm transition. *)
-let () = Faults.on_flush (fun () -> Hashtbl.reset cache)
+let () = Faults.on_flush (fun () -> Hashtbl.reset (cache ()))
 
 (* Fault site: quantify the wrong track — a classic off-by-one in the
    de Bruijn-style track allocation.  The shift is downward (an enclosing
@@ -300,6 +307,7 @@ let project_bound next a =
   Treeauto.project v a
 
 let compile env formula =
+  let cache = cache () in
   let track tenv v =
     match List.assoc_opt v tenv with
     | Some t -> t

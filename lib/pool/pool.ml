@@ -1,0 +1,116 @@
+(* Work-stealing domain pool.  See pool.mli for the contract.
+
+   Determinism: each task writes its result into a dedicated slot of a
+   pre-sized array (indexed by submission order), and runs under a fresh
+   Solver_ctx, so neither the scheduling order nor the worker count can
+   influence any individual result or the order results are returned in.
+
+   Scheduling: tasks are dealt round-robin into one queue per worker;
+   a worker drains its own queue first and then steals from the others.
+   Queues are plain Queue.t under one mutex each — contention is one
+   lock acquisition per task, negligible next to solver work. *)
+
+let slice_share ~left ~remaining ~jobs =
+  if left <= 0. || remaining <= 0 then 0.
+  else
+    let jobs = max 1 jobs in
+    let rounds = max 1 ((remaining + jobs - 1) / jobs) in
+    left /. float_of_int rounds
+
+type worker_queue = { m : Mutex.t; q : (unit -> unit) Queue.t }
+
+let pop wq =
+  Mutex.lock wq.m;
+  let t = if Queue.is_empty wq.q then None else Some (Queue.pop wq.q) in
+  Mutex.unlock wq.m;
+  t
+
+(* Steal scan starting after the worker's own queue, so workers spread
+   over victims instead of all hammering queue 0. *)
+let steal queues self =
+  let n = Array.length queues in
+  let rec go k =
+    if k = n then None
+    else
+      match pop queues.((self + k) mod n) with
+      | Some _ as t -> t
+      | None -> go (k + 1)
+  in
+  go 1
+
+let cancelled_reason = { Engine.resource = Engine.Wall_clock; used = 0; limit = 0 }
+
+let run_batch ~jobs ?(budget = Engine.unlimited) tasks =
+  let n = List.length tasks in
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let results = Array.make n None in
+  let crashed = Atomic.make None in
+  let deadline =
+    match budget.Engine.timeout with
+    | None -> infinity
+    | Some s -> Unix.gettimeofday () +. s
+  in
+  (* Tasks not yet started, for wall-clock slicing. *)
+  let remaining = Atomic.make n in
+  let cancel = Atomic.make false in
+  let run_one idx task =
+    let rem = Atomic.fetch_and_add remaining (-1) in
+    let left = deadline -. Unix.gettimeofday () in
+    if Atomic.get cancel || (deadline < infinity && left <= 0.) then begin
+      Atomic.set cancel true;
+      results.(idx) <- Some (Error cancelled_reason)
+    end
+    else begin
+      let task_budget =
+        if deadline = infinity then budget
+        else
+          { budget with
+            Engine.timeout = Some (slice_share ~left ~remaining:rem ~jobs) }
+      in
+      match
+        (* [with_budget unlimited] installs nothing; it is used here only
+           as the guard that converts a stray [Out_of_budget] (or stack /
+           heap exhaustion) escaping the task into an [Error]. *)
+        Solver_ctx.with_fresh (fun () ->
+            Engine.with_budget Engine.unlimited (fun () -> task task_budget))
+      with
+      | r -> results.(idx) <- Some r
+      | exception e ->
+        (* A non-budget exception escaping a task is a batch-level
+           failure: record the first one, cancel the rest, and re-raise
+           from the caller once workers drain. *)
+        ignore (Atomic.compare_and_set crashed None (Some e));
+        Atomic.set cancel true;
+        results.(idx) <- Some (Error cancelled_reason)
+    end
+  in
+  let queues =
+    Array.init jobs (fun _ -> { m = Mutex.create (); q = Queue.create () })
+  in
+  List.iteri
+    (fun i task -> Queue.push (fun () -> run_one i task) queues.(i mod jobs).q)
+    tasks;
+  let worker self =
+    let rec loop () =
+      match pop queues.(self) with
+      | Some t -> t (); loop ()
+      | None -> (
+        match steal queues self with
+        | Some t -> t (); loop ()
+        | None -> ())
+    in
+    loop ()
+  in
+  if jobs = 1 then worker 0
+  else begin
+    let domains =
+      Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    worker 0;
+    Array.iter Domain.join domains
+  end;
+  (match Atomic.get crashed with Some e -> raise e | None -> ());
+  Array.to_list results
+  |> List.map (function
+       | Some r -> r
+       | None -> Error cancelled_reason (* unreachable: every slot is written *))

@@ -1,0 +1,48 @@
+(** Work-stealing domain pool for batch solving.
+
+    [run_batch ~jobs tasks] executes every task and returns the results
+    in submission order, regardless of which worker ran what or in which
+    order — callers can rely on output being byte-identical to the
+    serial run.  Each task runs under a {e fresh} {!Solver_ctx} (cold
+    hash-cons stores and memo caches), so a task's result is a pure
+    function of the task alone: cache warmth from earlier tasks can
+    never change fault-injection hit sequences, witness shapes, or
+    verdicts.  The serial fallback ([jobs <= 1]) uses the exact same
+    per-task wrapping on the calling domain.
+
+    Budgets: each task receives a budget derived from [budget] — the
+    node/state/step caps verbatim (they apply per query, as if each ran
+    in its own process), and the wall-clock [timeout] replaced by this
+    task's slice of the remaining time until the shared batch deadline
+    ({!slice_share}).  The task is responsible for running its solver
+    work under that budget (e.g. by passing it to
+    {!Validate.check_data_race}).  Once the batch deadline passes,
+    tasks that have not started are cancelled cooperatively without
+    running: they report [Error] with an {!Engine.Wall_clock} reason.
+    Cancellation never flips a verdict — a cancelled task yields
+    [Error], which callers surface as "unknown". *)
+
+val slice_share : left:float -> remaining:int -> jobs:int -> float
+(** [slice_share ~left ~remaining ~jobs] is the wall-clock slice (in
+    seconds) granted to the next task to start, when [left] seconds
+    remain until the batch deadline and [remaining] tasks (including
+    this one) have not yet started on [jobs] workers.  The tasks still
+    to run need at least [ceil (remaining / jobs)] sequential rounds, so
+    each task may spend [left /. rounds].  Never negative; [0.] once
+    [left <= 0.] or [remaining <= 0].  Pure — exercised directly by
+    unit tests. *)
+
+val run_batch :
+  jobs:int ->
+  ?budget:Engine.budget ->
+  (Engine.budget -> 'a) list ->
+  ('a, Engine.reason) result list
+(** [run_batch ~jobs ?budget tasks] runs the tasks on [max 1 jobs]
+    domains ([jobs <= 1] runs serially on the calling domain, with
+    identical semantics) and returns one result per task, in submission
+    order.  Tasks must not share mutable state: each runs under a fresh
+    {!Solver_ctx} on whichever domain picked it up, receiving its
+    per-query budget slice as argument.  An {!Engine.Out_of_budget}
+    (or stack/heap exhaustion) escaping a task degrades that task to
+    [Error]; any other exception is a batch-level failure and is
+    re-raised on the calling domain after all workers have drained. *)

@@ -32,13 +32,17 @@ let site_swap_final =
 (* Observer invoked on every constructed automaton, tagged with the
    operation that produced it ("explore", "minimize", "project").  The
    validation layer installs structural checkers here; the default is a
-   no-op so the production path pays one ref read per construction. *)
-let observer : (string -> t -> unit) ref = ref (fun _ _ -> ())
-let set_observer f = observer := f
-let clear_observer () = observer := fun _ _ -> ()
+   no-op so the production path pays one DLS read per construction.  The
+   observer is domain-local: a validation layer observing on one domain
+   never slows down (or races with) queries running on another. *)
+let dls_observer : (string -> t -> unit) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (fun _ _ -> ()))
+
+let set_observer f = Domain.DLS.get dls_observer := f
+let clear_observer () = Domain.DLS.get dls_observer := fun _ _ -> ()
 
 let observed stage a =
-  !observer stage a;
+  !(Domain.DLS.get dls_observer) stage a;
   a
 
 (* ------------------------------------------------------------------ *)
@@ -183,13 +187,19 @@ let product f a b =
   let accept c = f a.accept.(c / nb) b.accept.(c mod nb) in
   explore ~leaf ~delta ~accept
 
-(* Cumulative operation statistics, for performance diagnosis. *)
-let stats : (string, float * int) Hashtbl.t = Hashtbl.create 8
+(* Cumulative operation statistics, for performance diagnosis.  Kept in
+   the current solver context so concurrent domains don't race on the
+   counters (and fresh contexts start from zero). *)
+let stats_slot : (string, float * int) Hashtbl.t Solver_ctx.Slot.slot =
+  Solver_ctx.Slot.create (fun () -> Hashtbl.create 8)
+
+let stats () = Solver_ctx.get_current stats_slot
 
 let timed ?detail name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   let dt = Unix.gettimeofday () -. t0 in
+  let stats = stats () in
   let acc, n = try Hashtbl.find stats name with Not_found -> (0., 0) in
   Hashtbl.replace stats name (acc +. dt, n + 1);
   if dt > 0.2 then
@@ -199,11 +209,11 @@ let timed ?detail name f =
   r
 
 let pp_op_stats ppf () =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats []
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (stats ()) []
   |> List.sort compare
   |> List.iter (fun (k, (t, n)) -> Fmt.pf ppf "%s: %.2fs over %d calls@." k t n)
 
-let reset_op_stats () = Hashtbl.reset stats
+let reset_op_stats () = Hashtbl.reset (stats ())
 
 let detail2 a b r () =
   Printf.sprintf "%dx%d->%d" a.nstates b.nstates r.nstates

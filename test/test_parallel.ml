@@ -1,0 +1,324 @@
+(* Differential harness for the multi-domain batch solver.
+
+   The contract under test: a batch of queries produces byte-identical
+   results no matter how many worker domains run it, in what order the
+   tasks are picked up, or what ran before them in the process — because
+   every query runs on a fresh Solver_ctx with per-query fault re-arming.
+   The harness runs every bundled program's data-race query serially and
+   at -j 2/4/8 (clean, under an armed fault site, under tight
+   deterministic budgets, and both at once) and asserts identical
+   verdict signatures: verdict class, witness tree and blocks, progress
+   counters, validation outcome, and the CLI exit code derived from
+   them.  MONA exports are compared byte-for-byte the same way.
+
+   Wall-clock budgets are inherently racy (a verdict may degrade to
+   Unknown depending on timing), so they get the weaker — but still
+   load-bearing — property: a batch killed mid-flight by a shared
+   wall-clock budget may turn verdicts into Unknown or cancel the tail,
+   but may never flip a definite verdict. *)
+
+let level = Validate.Witness
+
+let loaded =
+  lazy (List.map (fun (n, s) -> (n, Programs.load s)) Programs.all_named)
+
+(* --- verdict signatures: everything the CLI surfaces --- *)
+
+let signature = function
+  | Error (r : Engine.reason) ->
+    Fmt.str "cancelled:%s" (Engine.resource_name r.Engine.resource)
+  | Ok (verdict, report) ->
+    let v =
+      match verdict with
+      | Analysis.Race_free -> "race-free"
+      | Analysis.Race cx ->
+        Fmt.str "race q1=%d q2=%d %a" cx.Analysis.cx_q1 cx.Analysis.cx_q2
+          Treeauto.pp_tree cx.Analysis.cx_tree
+      | Analysis.Race_unknown u ->
+        Fmt.str "unknown:%s %d/%d"
+          (Engine.resource_name u.Analysis.reason.Engine.resource)
+          u.Analysis.pairs_done u.Analysis.pairs_total
+    in
+    Fmt.str "%s validate=%b" v (Validate.ok report)
+
+let exit_code = function
+  | Error _ -> 3
+  | Ok (verdict, report) ->
+    let c =
+      match verdict with
+      | Analysis.Race_free -> 0
+      | Analysis.Race _ -> 1
+      | Analysis.Race_unknown _ -> 3
+    in
+    if Validate.ok report then c else 4
+
+(* Run the race query over [progs] through the pool, with the same
+   per-task wrapping the CLI batch command uses. *)
+let run_batch ~jobs ?budget ?arm progs =
+  let tasks =
+    List.map
+      (fun (_name, info) task_budget ->
+        let query () =
+          Validate.check_data_race ~level ~budget:task_budget info
+        in
+        match arm with
+        | None -> query ()
+        | Some a ->
+          a ();
+          Fun.protect ~finally:Faults.disarm query)
+      progs
+  in
+  Pool.run_batch ~jobs ?budget tasks
+
+let arm_flip () = Faults.arm ~site:"bdd.branch_flip" ~seed:1 ()
+
+(* Deterministic tight budget: step/node caps only — no wall clock, so
+   every run exhausts at exactly the same point. *)
+let tight = Engine.budget ~max_steps:10 ()
+let bounded = Engine.budget ~max_steps:5000 ~max_bdd_nodes:200_000 ()
+
+let differential ?budget ?arm () =
+  let progs = Lazy.force loaded in
+  let reference = run_batch ~jobs:1 ?budget ?arm progs in
+  List.iter
+    (fun jobs ->
+      let results = run_batch ~jobs ?budget ?arm progs in
+      List.iteri
+        (fun i ((name, _), (r_ref, r)) ->
+          Alcotest.(check string)
+            (Fmt.str "%s (#%d) verdict at -j %d" name i jobs)
+            (signature r_ref) (signature r);
+          Alcotest.(check int)
+            (Fmt.str "%s (#%d) exit code at -j %d" name i jobs)
+            (exit_code r_ref) (exit_code r))
+        (List.combine progs (List.combine reference results)))
+    [ 2; 4; 8 ]
+
+let test_differential_clean () = differential ()
+let test_differential_tight () = differential ~budget:tight ()
+let test_differential_inject () = differential ~budget:bounded ~arm:arm_flip ()
+
+let test_differential_inject_tight () =
+  differential ~budget:tight ~arm:arm_flip ()
+
+(* --- MONA exports are byte-identical across pool sizes --- *)
+
+let mona_text info =
+  let enc = Encode.make info in
+  let ns1 = { Encode.tag = ""; cfg = 1 } and ns2 = { Encode.tag = ""; cfg = 2 } in
+  let noncalls = Blocks.all_noncalls info in
+  let q1 = List.hd noncalls and q2 = List.hd noncalls in
+  let f =
+    Mso.and_l
+      [
+        Encode.configuration enc ns1 ~q:q1 ~x:"x1";
+        Encode.configuration enc ns2 ~q:q2 ~x:"x2";
+        Encode.conflict_access enc ns1 ns2 ~q1 ~x1:"x1" ~q2 ~x2:"x2";
+        Mso.or_l
+          (Encode.parallel_cases enc ns1 ns2 ~current1:(Some (q1, "x1"))
+             ~current2:(Some (q2, "x2")));
+      ]
+  in
+  let env =
+    ("x1", Mso.FO) :: ("x2", Mso.FO) :: Encode.label_env enc [ ns1; ns2 ]
+  in
+  Mona.to_mona env f
+
+let test_mona_identical () =
+  let progs = Lazy.force loaded in
+  let tasks = List.map (fun (_, info) _budget -> mona_text info) progs in
+  let serial = Pool.run_batch ~jobs:1 tasks in
+  List.iter
+    (fun jobs ->
+      let par = Pool.run_batch ~jobs tasks in
+      List.iteri
+        (fun i ((name, _), (s, p)) ->
+          match (s, p) with
+          | Ok s, Ok p ->
+            if not (String.equal s p) then
+              Alcotest.failf "%s (#%d): .mona output differs at -j %d" name i
+                jobs
+          | _ -> Alcotest.failf "%s: mona export failed" name)
+        (List.combine progs (List.combine serial par)))
+    [ 4; 8 ]
+
+(* --- qcheck: scheduling is invisible --- *)
+
+let shuffle rand l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rand (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* Reference signatures per program, from a serial clean run in the
+   bundled order. *)
+let reference_sigs =
+  lazy
+    (let progs = Lazy.force loaded in
+     List.map2
+       (fun (name, _) r -> (name, signature r))
+       progs
+       (run_batch ~jobs:1 ~budget:tight progs))
+
+let test_random_orders =
+  QCheck.Test.make ~count:6
+    ~name:"random batch order and pool size never change verdicts"
+    QCheck.(pair small_nat (int_range 1 8))
+    (fun (seed, jobs) ->
+      let rand = Random.State.make [| seed; jobs |] in
+      let progs = shuffle rand (Lazy.force loaded) in
+      let results = run_batch ~jobs ~budget:tight progs in
+      List.for_all2
+        (fun (name, _) r ->
+          List.assoc name (Lazy.force reference_sigs) = signature r)
+        progs results)
+
+(* The clean (unbudgeted) verdict class per program, for the wall-clock
+   soundness property below. *)
+let reference_class =
+  lazy
+    (let progs = Lazy.force loaded in
+     List.map2
+       (fun (name, _) r ->
+         match r with
+         | Ok (Analysis.Race_free, _) -> (name, `Race_free)
+         | Ok (Analysis.Race _, _) -> (name, `Race)
+         | _ -> (name, `Unknown))
+       progs
+       (run_batch ~jobs:1 progs))
+
+let test_wall_clock_kill =
+  QCheck.Test.make ~count:5
+    ~name:"wall-clock kill mid-batch never flips a verdict"
+    QCheck.(pair (int_range 1 8) (int_range 1 50))
+    (fun (jobs, centis) ->
+      let budget = Engine.budget ~timeout:(float_of_int centis /. 100.) () in
+      let progs = Lazy.force loaded in
+      let results = run_batch ~jobs ~budget progs in
+      List.for_all2
+        (fun (name, _) r ->
+          match (r, List.assoc name (Lazy.force reference_class)) with
+          (* cut-short work may only degrade to Unknown / cancelled *)
+          | (Error _ | Ok (Analysis.Race_unknown _, _)), _ -> true
+          | Ok (Analysis.Race_free, _), cls -> cls = `Race_free
+          | Ok (Analysis.Race _, _), cls -> cls = `Race)
+        progs results)
+
+(* --- slice arithmetic --- *)
+
+let test_slice_share () =
+  let check = Alcotest.(check (float 1e-9)) in
+  check "expired" 0. (Pool.slice_share ~left:0. ~remaining:5 ~jobs:4);
+  check "negative" 0. (Pool.slice_share ~left:(-1.) ~remaining:5 ~jobs:4);
+  check "no tasks" 0. (Pool.slice_share ~left:10. ~remaining:0 ~jobs:4);
+  check "last task gets everything" 6.
+    (Pool.slice_share ~left:6. ~remaining:1 ~jobs:4);
+  check "one full round" 6. (Pool.slice_share ~left:6. ~remaining:4 ~jobs:4);
+  check "two rounds" 3. (Pool.slice_share ~left:6. ~remaining:5 ~jobs:4);
+  check "three rounds" 2. (Pool.slice_share ~left:6. ~remaining:10 ~jobs:4);
+  check "serial splits evenly" 2.
+    (Pool.slice_share ~left:6. ~remaining:3 ~jobs:1);
+  check "jobs=0 treated as serial" 2.
+    (Pool.slice_share ~left:6. ~remaining:3 ~jobs:0)
+
+let test_slice_share_bounds =
+  QCheck.Test.make ~count:500 ~name:"slice is within [0, left]"
+    QCheck.(triple (float_bound_exclusive 100.) (int_bound 64) (int_bound 16))
+    (fun (left, remaining, jobs) ->
+      let s = Pool.slice_share ~left ~remaining ~jobs in
+      s >= 0. && s <= max 0. left)
+
+(* --- context ownership and isolation --- *)
+
+let test_ownership_violation () =
+  let ctx = Solver_ctx.create () in
+  (* usable on its owner... *)
+  ignore (Solver_ctx.with_ctx ctx (fun () -> Bdd.var 0));
+  (* ...and rejected, fast, on any other domain *)
+  let d =
+    Domain.spawn (fun () ->
+        match Solver_ctx.with_ctx ctx (fun () -> Bdd.var 0) with
+        | _ -> false
+        | exception Solver_ctx.Ownership_violation _ -> true)
+  in
+  Alcotest.(check bool) "cross-domain use raises" true (Domain.join d)
+
+let test_fresh_ctx_isolated () =
+  let a = Bdd.conj (Bdd.var 0) (Bdd.var 1) in
+  let b = Solver_ctx.with_fresh (fun () -> Bdd.conj (Bdd.var 0) (Bdd.var 1)) in
+  Alcotest.(check bool) "same shape, different store" false (a == b);
+  (* the ambient store is untouched by the fresh extent *)
+  let a' = Bdd.conj (Bdd.var 0) (Bdd.var 1) in
+  Alcotest.(check bool) "ambient hash-consing unaffected" true (a == a')
+
+(* --- pool plumbing --- *)
+
+let test_pool_ordering () =
+  (* results come back in submission order whatever the pool size *)
+  let tasks = List.init 23 (fun i _budget -> i * i) in
+  List.iter
+    (fun jobs ->
+      let r = Pool.run_batch ~jobs tasks in
+      List.iteri
+        (fun i x ->
+          match x with
+          | Ok v -> Alcotest.(check int) (Fmt.str "slot %d" i) (i * i) v
+          | Error _ -> Alcotest.fail "unexpected budget error")
+        r)
+    [ 0; 1; 2; 4; 8; 32 ]
+
+exception Boom
+
+let test_pool_crash_propagates () =
+  let tasks =
+    [ (fun _ -> 1); (fun _ -> raise Boom); (fun _ -> 3) ]
+  in
+  match Pool.run_batch ~jobs:4 tasks with
+  | _ -> Alcotest.fail "expected the task exception to re-raise"
+  | exception Boom -> ()
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "clean batch, -j 1/2/4/8" `Quick
+            test_differential_clean;
+          Alcotest.test_case "tight deterministic budget" `Quick
+            test_differential_tight;
+          Alcotest.test_case "armed fault site" `Quick
+            test_differential_inject;
+          Alcotest.test_case "armed fault site + tight budget" `Quick
+            test_differential_inject_tight;
+          Alcotest.test_case "MONA exports byte-identical" `Quick
+            test_mona_identical;
+        ] );
+      ( "scheduling invisibility",
+        [
+          QCheck_alcotest.to_alcotest test_random_orders;
+          QCheck_alcotest.to_alcotest test_wall_clock_kill;
+        ] );
+      ( "budget slicing",
+        [
+          Alcotest.test_case "slice_share arithmetic" `Quick test_slice_share;
+          QCheck_alcotest.to_alcotest test_slice_share_bounds;
+        ] );
+      ( "solver contexts",
+        [
+          Alcotest.test_case "ownership violation fails fast" `Quick
+            test_ownership_violation;
+          Alcotest.test_case "fresh contexts are isolated" `Quick
+            test_fresh_ctx_isolated;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "submission-order results" `Quick
+            test_pool_ordering;
+          Alcotest.test_case "task exceptions propagate" `Quick
+            test_pool_crash_propagates;
+        ] );
+    ]
