@@ -565,12 +565,78 @@ let parallel_suite () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serve mode: daemon-core throughput cold vs warm reply cache, and the
+   latency a query pays when a fault crashes its worker (restart with
+   backoff, one retry, typed degradation).                               *)
+
+let serve_suite () =
+  Fmt.pr "@.== Serve mode: reply cache and supervision costs ==@.";
+  let progs =
+    [ "size_counting"; "size_counting_seq"; "racy_writers";
+      "tree_mutation_seq" ]
+    |> List.map (fun n -> (n, List.assoc n Programs.all_named))
+  in
+  let n = List.length progs in
+  let core = Serve.Core.create ~workers:2 () in
+  let options = { Serve.default_options with Serve.client = "bench" } in
+  let solve_all () =
+    List.map
+      (fun (_, source) -> Serve.Core.solve core ~options ~source)
+      progs
+  in
+  let cold, t_cold = time solve_all in
+  let warm, t_warm = time solve_all in
+  let changes =
+    List.fold_left2
+      (fun acc a b -> if a = b then acc else acc + 1)
+      0 cold warm
+  in
+  (* one sabotaged query: the worker that picks it up crashes on every
+     attempt, so this times crash detection + backoff + restart + retry
+     + the typed Server_unknown reply *)
+  let fault_options =
+    { options with Serve.inject = Some ("pool.submit", 1, 1) }
+  in
+  let degraded, t_fault =
+    time (fun () ->
+        Serve.Core.solve core ~options:fault_options
+          ~source:(snd (List.hd progs)))
+  in
+  let degraded_ok =
+    match degraded with Serve.Server_unknown _ -> true | _ -> false
+  in
+  let cold_qps = if t_cold > 0. then float n /. t_cold else 0. in
+  let warm_qps = if t_warm > 0. then float n /. t_warm else 0. in
+  Fmt.pr "  %-28s %d queries in %.2fs (%.1f qps)@." "cold (cache empty)" n
+    t_cold cold_qps;
+  Fmt.pr "  %-28s %d queries in %.2fs (%.1f qps)@." "warm (reply cache)" n
+    t_warm warm_qps;
+  Fmt.pr "  %-28s %.3fs (typed degradation: %b)@."
+    "crash+restart+retry latency" t_fault degraded_ok;
+  let cut = Serve.Core.drain ~grace:5. core in
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n  \"queries\": %d,\n  \"cold_wall_s\": %.3f,\n  \"cold_qps\": %.1f,\n  \
+     \"warm_wall_s\": %.3f,\n  \"warm_qps\": %.1f,\n  \
+     \"restart_under_fault_s\": %.3f,\n  \"degraded_typed\": %b,\n  \
+     \"verdict_changes\": %d,\n  \"drain_cut\": %d\n}\n"
+    n t_cold cold_qps t_warm warm_qps t_fault degraded_ok changes cut;
+  close_out oc;
+  Fmt.pr "  wrote BENCH_serve.json@.";
+  if changes > 0 || not degraded_ok then begin
+    Fmt.pr "serve: %d cold/warm reply change(s); typed degradation %b@."
+      changes degraded_ok;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   if smoke then begin
     Fmt.pr "Retreet benchmark harness — smoke mode@.@.";
     smoke_suite ();
     parallel_suite ();
+    serve_suite ();
     exit 0
   end;
   Fmt.pr "Retreet benchmark harness (paper: PPoPP 2021 evaluation)@.@.";

@@ -275,6 +275,16 @@ let batch_cmd =
   let run verbose jobs budget vlevel inject files =
     setup_logs verbose;
     let arm = parse_inject inject in
+    if files = [] then begin
+      (* An empty batch decided nothing: report where the files were
+         expected and exit 3 (unknown), not 0 — harnesses that glob
+         their inputs must not mistake "matched nothing" for "all
+         proofs passed". *)
+      Fmt.epr
+        "retreet: batch: no FILE arguments (expected one or more program \
+         files or builtin:NAMEs at positions 0..); nothing was solved@.";
+      exit exit_unknown
+    end;
     (* Parse everything up front on the main domain: a parse or
        well-formedness error is a usage error (exit 2) for the whole
        batch, before any query runs. *)
@@ -298,23 +308,10 @@ let batch_cmd =
     let codes =
       List.map2
         (fun (file, _) result ->
-          let text, code =
-            match result with
-            | Error reason ->
-              (Fmt.str "UNKNOWN: %a" Engine.pp_reason reason, exit_unknown)
-            | Ok (verdict, report) ->
-              let text, code =
-                match verdict with
-                | Analysis.Race_free -> ("data-race-free", 0)
-                | Analysis.Race _ -> ("DATA RACE", 1)
-                | Analysis.Race_unknown u ->
-                  (Fmt.str "UNKNOWN: %a" Analysis.pp_progress u, exit_unknown)
-              in
-              if Validate.ok report then (text, code)
-              else
-                ( text ^ "  [verdict FAILED self-validation]",
-                  exit_validation_failed )
-          in
+          (* the same rendering the serve daemon uses: byte identity
+             between `retreet batch` and serve-mode replies is this
+             being the only code path *)
+          let text, code = Serve.render_race result in
           Fmt.pr "%s: %s@." file text;
           code)
         infos results
@@ -338,7 +335,187 @@ let batch_cmd =
       const run $ verbose_arg $ jobs_arg $ budget_term $ validate_arg
       $ inject_arg
       $ Arg.(
-          non_empty & pos_all string []
+          value & pos_all string []
+          & info [] ~docv:"FILE" ~doc:"Program files or builtin:NAMEs."))
+
+(* --- serve / ask --- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path the daemon listens on (keep it short: \
+           the kernel caps socket paths at ~100 bytes).")
+
+let serve_cmd =
+  let run verbose socket workers max_queue cache_nodes allowance window
+      grace =
+    setup_logs verbose;
+    Serve_server.run ~socket ~workers ~max_queue ~cache_nodes ~allowance
+      ~window ~grace ()
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Run the solver as a supervised daemon on a Unix socket.  \
+          Queries are scheduled onto worker domains; a crashed worker is \
+          restarted with bounded backoff and its query retried once \
+          before degrading to a typed SERVER-UNKNOWN reply, so the \
+          daemon itself never dies.  Admission control sheds load per \
+          client (OVERLOADED), a content-hash reply cache under a node \
+          budget carries warm state across queries without changing a \
+          byte of output, and SIGTERM drains gracefully (exit 0).")
+    Term.(
+      const run $ verbose_arg $ socket_arg
+      $ Arg.(
+          value & opt int 2
+          & info [ "workers" ] ~docv:"N" ~doc:"Solver worker domains.")
+      $ Arg.(
+          value & opt int 64
+          & info [ "max-queue" ] ~docv:"N"
+              ~doc:"Queued-query depth before shedding with OVERLOADED.")
+      $ Arg.(
+          value
+          & opt int 1_000_000
+          & info [ "cache-nodes" ] ~docv:"N"
+              ~doc:
+                "Reply-cache capacity, in BDD nodes allocated by the \
+                 cached solves (0 disables caching).")
+      $ Arg.(
+          value & opt float 30.
+          & info [ "allowance" ] ~docv:"SECONDS"
+              ~doc:
+                "Per-client solving allowance: a client whose \
+                 exponentially-decayed spend exceeds this is shed with \
+                 OVERLOADED.")
+      $ Arg.(
+          value & opt float 60.
+          & info [ "window" ] ~docv:"SECONDS"
+              ~doc:"Half-life of the per-client spend decay.")
+      $ Arg.(
+          value & opt float 5.
+          & info [ "grace" ] ~docv:"SECONDS"
+              ~doc:"Drain deadline for in-flight queries on SIGTERM."))
+
+let ask_cmd =
+  let run verbose socket wait client budget vlevel inject metrics files =
+    setup_logs verbose;
+    (* reuse the local --inject UX ("list", early validation) before
+       shipping the raw spec to the daemon *)
+    (match parse_inject inject with Some _ | None -> ());
+    let inject =
+      match inject with
+      | None -> None
+      | Some spec -> (
+        match Serve.parse_inject_spec spec with
+        | Ok t -> Some t
+        | Error msg ->
+          Fmt.epr "%s@." msg;
+          exit 2)
+    in
+    if (not metrics) && files = [] then begin
+      Fmt.epr
+        "retreet: ask: no FILE arguments (expected one or more program \
+         files or builtin:NAMEs at positions 0..); nothing was solved@.";
+      exit exit_unknown
+    end;
+    let conn =
+      match Serve_client.connect ~wait socket with
+      | Ok conn -> conn
+      | Error msg ->
+        Fmt.epr "retreet ask: %s@." msg;
+        exit 2
+    in
+    Fun.protect ~finally:(fun () -> Serve_client.close conn) @@ fun () ->
+    let roundtrip req =
+      match Serve_client.roundtrip conn req with
+      | Ok reply -> reply
+      | Error msg ->
+        Fmt.epr "retreet ask: %s@." msg;
+        exit 2
+    in
+    if metrics then begin
+      let _, _, payload = roundtrip Serve_wire.Metrics in
+      Fmt.pr "%s" payload;
+      Format.pp_print_flush Fmt.stdout ();
+      0
+    end
+    else begin
+      let source_of path =
+        if String.length path > 8 && String.sub path 0 8 = "builtin:" then begin
+          let name = String.sub path 8 (String.length path - 8) in
+          match List.assoc_opt name Programs.all_named with
+          | Some src -> src
+          | None ->
+            Fmt.epr "unknown builtin %s@." name;
+            exit 2
+        end
+        else
+          match
+            In_channel.with_open_bin path In_channel.input_all
+          with
+          | source -> source
+          | exception Sys_error msg ->
+            Fmt.epr "%s@." msg;
+            exit 2
+      in
+      let opts =
+        Serve.options_to_assoc { Serve.client; budget; vlevel; inject }
+      in
+      let codes =
+        List.map
+          (fun file ->
+            let source = source_of file in
+            let status, code, payload =
+              roundtrip (Serve_wire.Solve { opts; source })
+            in
+            match status with
+            | "REPLY" ->
+              Fmt.pr "%s: %s@." file payload;
+              code
+            | "ERROR" ->
+              Fmt.epr "%s: %s@." file payload;
+              2
+            | _ ->
+              (* OVERLOADED / SERVER-UNKNOWN / DRAINING: unknown-shaped *)
+              Fmt.pr "%s: %s@." file payload;
+              exit_unknown)
+          files
+      in
+      let severity = function 2 -> 4 | 4 -> 3 | 1 -> 2 | 3 -> 1 | _ -> 0 in
+      List.fold_left
+        (fun worst c -> if severity c > severity worst then c else worst)
+        0 codes
+    end
+  in
+  Cmd.v
+    (Cmd.info "ask" ~exits
+       ~doc:
+         "Send data-race queries to a running $(b,retreet serve) daemon.  \
+          Prints one line per program, exactly as $(b,retreet batch) \
+          would, and exits with the most severe per-program code \
+          (OVERLOADED, SERVER-UNKNOWN and DRAINING replies count as \
+          unknown, exit 3).")
+    Term.(
+      const run $ verbose_arg $ socket_arg
+      $ Arg.(
+          value & opt float 10.
+          & info [ "wait" ] ~docv:"SECONDS"
+              ~doc:"Retry the connection this long if the daemon is not \
+                    yet listening.")
+      $ Arg.(
+          value & opt string "cli"
+          & info [ "client" ] ~docv:"NAME"
+              ~doc:"Client identity for the daemon's admission control.")
+      $ budget_term $ validate_arg $ inject_arg
+      $ Arg.(
+          value & flag
+          & info [ "metrics" ]
+              ~doc:"Print the daemon's metrics report instead of solving.")
+      $ Arg.(
+          value & pos_all string []
           & info [] ~docv:"FILE" ~doc:"Program files or builtin:NAMEs."))
 
 (* --- equiv --- *)
@@ -539,8 +716,8 @@ let () =
   let main =
     Cmd.group (Cmd.info "retreet" ~doc)
       [
-        check_cmd; race_cmd; batch_cmd; equiv_cmd; run_cmd; fuse_cmd;
-        baseline_cmd; mona_cmd;
+        check_cmd; race_cmd; batch_cmd; serve_cmd; ask_cmd; equiv_cmd;
+        run_cmd; fuse_cmd; baseline_cmd; mona_cmd;
       ]
   in
   exit (Cmd.eval' main)

@@ -62,6 +62,7 @@ let create () =
 
 let owner ctx = ctx.ctx_owner
 let id ctx = ctx.ctx_id
+let created () = Atomic.get next_ctx_id
 
 (* The fail-fast ownership check (see DESIGN.md, "Domain safety"): a
    context used on the wrong domain would race on its hash tables and

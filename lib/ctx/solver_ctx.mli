@@ -34,6 +34,12 @@ val owner : t -> Domain.id
 val id : t -> int
 (** Process-unique context id (diagnostics). *)
 
+val created : unit -> int
+(** Total contexts created so far in this process, across all domains.
+    Every cold-state query ({!with_fresh}) creates exactly one, so the
+    serve-layer metrics use this as an honest count of cold solves —
+    cache hits create none. *)
+
 val current : unit -> t
 (** The calling domain's current context.  Each domain lazily gets its
     own root context; {!with_ctx} overrides it for an extent. *)

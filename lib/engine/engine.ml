@@ -159,6 +159,36 @@ let guarded f =
   | exception Out_of_memory ->
     Error { resource = Heap_memory; used = 0; limit = 0 }
 
+type usage = { wall_s : float; nodes : int; steps : int }
+
+let no_usage = { wall_s = 0.; nodes = 0; steps = 0 }
+
+let pp_usage ppf u =
+  Format.fprintf ppf "%.3fs, %d nodes, %d steps" u.wall_s u.nodes u.steps
+
+let metered f =
+  (* Like the installing branch of [with_budget unlimited], but the
+     state is always installed (so the hooks count) and its counters are
+     read back before restoring.  Limits are the parent's remainders, so
+     metering never tightens anything. *)
+  let cell = current () in
+  let parent = !cell in
+  let st = install unlimited in
+  cell := Some st;
+  let r = guarded f in
+  let u =
+    { wall_s = Unix.gettimeofday () -. st.started;
+      nodes = st.nodes;
+      steps = st.steps }
+  in
+  cell := parent;
+  (match parent with
+  | Some p ->
+    p.nodes <- p.nodes + st.nodes;
+    p.steps <- p.steps + st.steps
+  | None -> ());
+  (r, u)
+
 let with_budget b f =
   let cell = current () in
   let parent = !cell in
@@ -186,3 +216,70 @@ let with_budget b f =
     restore ();
     r
   end
+
+(* --- per-client accounting ------------------------------------------ *)
+
+module Ledger = struct
+  (* Exponentially-decayed spend per client: debt halves every [window]
+     seconds.  Stored as (debt at [stamp]); reading decays on the fly. *)
+  type entry = { mutable debt : float; mutable stamp : float }
+
+  type t = {
+    window : float;
+    allowance : float;
+    tbl : (string, entry) Hashtbl.t;
+    m : Mutex.t;
+  }
+
+  let create ?(window = 60.) ?(allowance = 30.) () =
+    if window <= 0. then invalid_arg "Ledger.create: window must be positive";
+    if allowance <= 0. then
+      invalid_arg "Ledger.create: allowance must be positive";
+    { window; allowance; tbl = Hashtbl.create 16; m = Mutex.create () }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  let decay t e now =
+    if now > e.stamp then begin
+      e.debt <- e.debt *. (0.5 ** ((now -. e.stamp) /. t.window));
+      e.stamp <- now
+    end
+
+  let entry t client now =
+    match Hashtbl.find_opt t.tbl client with
+    | Some e ->
+      decay t e now;
+      e
+    | None ->
+      let e = { debt = 0.; stamp = now } in
+      Hashtbl.add t.tbl client e;
+      e
+
+  let charge ?now t ~client seconds =
+    let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+    locked t (fun () ->
+        let e = entry t client now in
+        e.debt <- e.debt +. max 0. seconds)
+
+  let debt ?now t ~client =
+    let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+    locked t (fun () -> (entry t client now).debt)
+
+  let admit ?now t ~client =
+    let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+    locked t (fun () ->
+        let e = entry t client now in
+        if e.debt <= t.allowance then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "client %S over budget: %.1fs of recent solving (allowance \
+                %.1fs, half-life %.0fs)"
+               client e.debt t.allowance t.window))
+
+  let clients t =
+    locked t (fun () ->
+        Hashtbl.fold (fun _ e n -> if e.debt > 0. then n + 1 else n) t.tbl 0)
+end

@@ -64,6 +64,62 @@ val with_budget : budget -> (unit -> 'a) -> ('a, reason) result
     [Stack_overflow] / [Out_of_memory]; solver state (caches, hash-cons
     tables) stays intact either way. *)
 
+(** {1 Metering}
+
+    Consumption accounting without enforcement, for callers that need to
+    know what a computation {e cost} — the serve-mode compile cache
+    weighs entries by the BDD nodes allocated while computing them, and
+    per-client admission control charges actual wall-clock spend. *)
+
+type usage = {
+  wall_s : float;  (** elapsed wall-clock seconds *)
+  nodes : int;  (** fresh hash-consed BDD/MTBDD nodes allocated *)
+  steps : int;  (** abstract solver steps ({!tick} calls) *)
+}
+
+val no_usage : usage
+val pp_usage : Format.formatter -> usage -> unit
+
+val metered : (unit -> 'a) -> ('a, reason) result * usage
+(** [metered f] runs [f] in a transparent accounting extent: no limits
+    of its own (it inherits whatever remains of any enclosing budget),
+    but the node/step consumption of the extent — including nested
+    {!with_budget} extents, which charge back on exit — is reported.
+    Verdicts and fault-hit sequences are unaffected: the hooks merely
+    count instead of being no-ops.  Exceptions are guarded exactly as
+    by {!with_budget}. *)
+
+(** {1 Per-client accounting}
+
+    A {!Ledger.t} tracks how much wall-clock solving each client of a
+    long-lived service has consumed recently, for admission control:
+    spend decays exponentially (half-life [window]), and a client whose
+    decayed debt exceeds its [allowance] is shed until the debt decays
+    back under it.  All operations are thread-safe. *)
+
+module Ledger : sig
+  type t
+
+  val create : ?window:float -> ?allowance:float -> unit -> t
+  (** [window] (default 60s) is the decay half-life; [allowance]
+      (default 30s) is the decayed debt, in wall-clock seconds of
+      solving, above which {!admit} starts refusing.
+      @raise Invalid_argument on non-positive parameters. *)
+
+  val charge : ?now:float -> t -> client:string -> float -> unit
+  (** Add [seconds] of consumption to the client's decayed debt. *)
+
+  val debt : ?now:float -> t -> client:string -> float
+  (** The client's decayed debt, in seconds. *)
+
+  val admit : ?now:float -> t -> client:string -> (unit, string) result
+  (** [Ok ()] if the client is under its allowance, [Error why] (a
+      human-readable shed reason) otherwise. *)
+
+  val clients : t -> int
+  (** Distinct clients with nonzero recorded debt. *)
+end
+
 (** {1 Slicing}
 
     Helpers for spreading one budget over [k] work items: take the

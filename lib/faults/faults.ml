@@ -9,6 +9,8 @@
    hit sequence that depends only on that query, not on what other
    workers are doing. *)
 
+exception Injected_crash of string
+
 type site = { name : string; descr : string }
 
 let registry : (string, site) Hashtbl.t = Hashtbl.create 16

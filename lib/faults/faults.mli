@@ -23,6 +23,13 @@ type site
 (** A named fault site.  Sites are created once, at module-initialization
     time, by the substrate that hosts them. *)
 
+exception Injected_crash of string
+(** The injected stand-in for an uncaught worker crash.  Concurrency-layer
+    sites ({e pool.submit}) do not corrupt solver state — they raise this
+    exception from the victim's execution path so the supervision layer's
+    crash handling (restart, requeue, typed degradation) is exercised by
+    a real unwinding.  The payload names the site that fired. *)
+
 val register : name:string -> descr:string -> site
 (** Create and register a site.  [name] is the stable identifier used by
     {!arm}, tests, and the CLI ([--inject]); registering the same name

@@ -17,6 +17,17 @@ let slice_share ~left ~remaining ~jobs =
     let rounds = max 1 ((remaining + jobs - 1) / jobs) in
     left /. float_of_int rounds
 
+(* Concurrency-layer fault sites (see pool.mli).  [steal_site] perturbs
+   only scheduling; [submit_site] simulates worker crashes for the
+   supervised pool. *)
+let steal_site =
+  Faults.register ~name:"pool.steal"
+    ~descr:"skip one victim queue during a batch work-stealing scan"
+
+let submit_site =
+  Faults.register ~name:"pool.submit"
+    ~descr:"crash the worker that picks up a submitted supervised job"
+
 type worker_queue = { m : Mutex.t; q : (unit -> unit) Queue.t }
 
 let pop wq =
@@ -26,11 +37,15 @@ let pop wq =
   t
 
 (* Steal scan starting after the worker's own queue, so workers spread
-   over victims instead of all hammering queue 0. *)
+   over victims instead of all hammering queue 0.  A firing
+   [steal_site] skips a victim: correctness cannot depend on stealing —
+   every task sits in some worker's own queue — so this only perturbs
+   scheduling. *)
 let steal queues self =
   let n = Array.length queues in
   let rec go k =
     if k = n then None
+    else if Faults.fire steal_site then go (k + 1)
     else
       match pop queues.((self + k) mod n) with
       | Some _ as t -> t
@@ -114,3 +129,259 @@ let run_batch ~jobs ?(budget = Engine.unlimited) tasks =
   |> List.map (function
        | Some r -> r
        | None -> Error cancelled_reason (* unreachable: every slot is written *))
+
+(* --- supervised persistent pool ------------------------------------- *)
+
+module Supervised = struct
+  type 'a outcome =
+    | Done of 'a
+    | Crashed of { attempts : int; last_exn : string }
+    | Cancelled of string
+
+  type 'a job = {
+    work : unit -> 'a;
+    sabotaged : bool;  (* submit_site fired at submission *)
+    mutable attempts : int;  (* executions started *)
+    mutable result : 'a outcome option;
+    resolved : Condition.t;
+  }
+
+  type stats = {
+    submitted : int;
+    completed : int;
+    crashes : int;
+    restarts : int;
+    retries : int;
+    max_depth : int;
+  }
+
+  (* Everything mutable lives under [m].  The queue is a deque as two
+     lists: [front] (retries, popped first) then [back] (reversed
+     submission order). *)
+  type 'a t = {
+    m : Mutex.t;
+    nonempty : Condition.t;  (* queue grew or state changed: workers wake *)
+    idle : Condition.t;  (* a job resolved: drain waiters wake *)
+    mutable front : 'a job list;
+    mutable back : 'a job list;
+    mutable queued : int;
+    mutable stopping : bool;  (* drain started: no new submissions *)
+    mutable killed : bool;  (* grace expired: workers exit even if queued *)
+    mutable outstanding : int;  (* accepted and not yet resolved *)
+    mutable s : stats;
+    max_retries : int;
+    backoff : int -> float;
+  }
+
+  let default_backoff k = Float.min 0.5 (0.01 *. (2. ** float_of_int k))
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  (* All three called with [t.m] held. *)
+  let push_back t j =
+    t.back <- j :: t.back;
+    t.queued <- t.queued + 1;
+    if t.queued > t.s.max_depth then t.s <- { t.s with max_depth = t.queued };
+    Condition.signal t.nonempty
+
+  let push_front t j =
+    t.front <- j :: t.front;
+    t.queued <- t.queued + 1;
+    if t.queued > t.s.max_depth then t.s <- { t.s with max_depth = t.queued };
+    Condition.signal t.nonempty
+
+  let pop_job t =
+    match t.front with
+    | j :: rest ->
+      t.front <- rest;
+      t.queued <- t.queued - 1;
+      Some j
+    | [] -> (
+      match t.back with
+      | [] -> None
+      | back ->
+        (match List.rev back with
+        | j :: rest ->
+          t.front <- rest;
+          t.back <- [];
+          t.queued <- t.queued - 1;
+          Some j
+        | [] -> None))
+
+  (* Resolve a job that was never accepted into the queue (it has no
+     [outstanding] slot).  Called with [t.m] held. *)
+  let resolve_detached j outcome =
+    if j.result = None then begin
+      j.result <- Some outcome;
+      Condition.broadcast j.resolved
+    end
+
+  let resolve t j outcome =
+    (* with [t.m] held *)
+    if j.result = None then begin
+      j.result <- Some outcome;
+      t.outstanding <- t.outstanding - 1;
+      (match outcome with
+      | Done _ -> t.s <- { t.s with completed = t.s.completed + 1 }
+      | Crashed _ | Cancelled _ -> ());
+      Condition.broadcast j.resolved;
+      Condition.broadcast t.idle
+    end
+
+  (* The worker-domain body: pull jobs until drained.  Returns normally
+     on drain; returns the crashing job and exception when a job dies,
+     so the supervisor thread can requeue and respawn. *)
+  type 'a worker_exit = Drained | Worker_crash of 'a job * exn
+
+  let worker_body t =
+    let rec next () =
+      Mutex.lock t.m;
+      let rec await () =
+        if t.killed || (t.stopping && t.queued = 0) then None
+        else
+          match pop_job t with
+          | Some j -> Some j
+          | None ->
+            Condition.wait t.nonempty t.m;
+            await ()
+      in
+      let j = await () in
+      Mutex.unlock t.m;
+      match j with
+      | None -> Drained
+      | Some j -> (
+        j.attempts <- j.attempts + 1;
+        match
+          if j.sabotaged then
+            raise (Faults.Injected_crash (Faults.site_name submit_site))
+          else j.work ()
+        with
+        | v ->
+          locked t (fun () -> resolve t j (Done v));
+          next ()
+        | exception e -> Worker_crash (j, e))
+    in
+    next ()
+
+  (* One supervisor thread per worker slot: spawn the domain, join it,
+     and on a crash handle the victim job, wait out the backoff, and
+     respawn — forever, until drain. *)
+  let rec supervise t slot ~consecutive =
+    let d = Domain.spawn (fun () -> worker_body t) in
+    match Domain.join d with
+    | Drained -> ()
+    | Worker_crash (j, e) ->
+      let respawn =
+        locked t (fun () ->
+            t.s <- { t.s with crashes = t.s.crashes + 1 };
+            (if j.attempts <= t.max_retries && not (t.stopping || t.killed)
+             then begin
+               t.s <- { t.s with retries = t.s.retries + 1 };
+               push_front t j
+             end
+            else
+              resolve t j
+                (Crashed
+                   { attempts = j.attempts; last_exn = Printexc.to_string e }));
+            not t.killed)
+      in
+      if respawn then begin
+        Thread.delay (t.backoff consecutive);
+        locked t (fun () -> t.s <- { t.s with restarts = t.s.restarts + 1 });
+        supervise t slot ~consecutive:(consecutive + 1)
+      end
+
+  let create ~workers ?(max_retries = 1) ?(backoff = default_backoff) () =
+    let t =
+      {
+        m = Mutex.create ();
+        nonempty = Condition.create ();
+        idle = Condition.create ();
+        front = [];
+        back = [];
+        queued = 0;
+        stopping = false;
+        killed = false;
+        outstanding = 0;
+        s =
+          { submitted = 0; completed = 0; crashes = 0; restarts = 0;
+            retries = 0; max_depth = 0 };
+        max_retries;
+        backoff;
+      }
+    in
+    for slot = 0 to max 1 workers - 1 do
+      ignore
+        (Thread.create (fun () -> supervise t slot ~consecutive:0) ())
+    done;
+    t
+
+  type 'a ticket = 'a job
+
+  let submit t work =
+    (* The submission-time fault decision happens on the caller, where
+       the armed state lives; the crash itself happens on the worker. *)
+    let sabotaged = Faults.fire submit_site in
+    let j =
+      { work; sabotaged; attempts = 0; result = None;
+        resolved = Condition.create () }
+    in
+    locked t (fun () ->
+        if t.stopping || t.killed then
+          resolve_detached j (Cancelled "pool is draining")
+        else begin
+          t.s <- { t.s with submitted = t.s.submitted + 1 };
+          t.outstanding <- t.outstanding + 1;
+          push_back t j
+        end);
+    j
+
+  let await t j =
+    Mutex.lock t.m;
+    let rec loop () =
+      match j.result with
+      | Some r -> r
+      | None ->
+        Condition.wait j.resolved t.m;
+        loop ()
+    in
+    let r = loop () in
+    Mutex.unlock t.m;
+    r
+
+  let run t work = await t (submit t work)
+
+  let depth t = locked t (fun () -> t.queued)
+  let stats t = locked t (fun () -> t.s)
+
+  let drain ?(grace = 5.) t =
+    let deadline = Unix.gettimeofday () +. grace in
+    Mutex.lock t.m;
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    (* Poll-wait for quiescence: stdlib [Condition] has no timed wait,
+       and drain runs once per server lifetime. *)
+    while t.outstanding > 0 && Unix.gettimeofday () < deadline do
+      Mutex.unlock t.m;
+      Thread.delay 0.02;
+      Mutex.lock t.m
+    done;
+    t.killed <- true;
+    let cancelled = ref 0 in
+    let cancel j =
+      if j.result = None then begin
+        incr cancelled;
+        resolve t j (Cancelled "drain deadline passed before a worker ran it")
+      end
+    in
+    List.iter cancel t.front;
+    List.iter cancel (List.rev t.back);
+    t.front <- [];
+    t.back <- [];
+    t.queued <- 0;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    !cancelled
+end

@@ -32,6 +32,22 @@ val slice_share : left:float -> remaining:int -> jobs:int -> float
     [left <= 0.] or [remaining <= 0].  Pure — exercised directly by
     unit tests. *)
 
+val steal_site : Faults.site
+(** The ["pool.steal"] fault site: when armed (on the calling domain), a
+    firing hit makes the work-stealing scan of {!run_batch} skip one
+    victim queue.  Purely a scheduling perturbation — every task still
+    runs on its home worker, so results are unchanged by construction
+    (the pinned test asserts it). *)
+
+val submit_site : Faults.site
+(** The ["pool.submit"] fault site: when armed on the domain that calls
+    {!Supervised.submit}, a firing hit marks the submitted job as
+    sabotaged — the worker that picks it up raises
+    {!Faults.Injected_crash} in place of running it, on {e every}
+    attempt.  This exercises the full supervision path deterministically:
+    crash isolation, worker restart with backoff, one requeue, and the
+    typed {!Supervised.Crashed} outcome. *)
+
 val run_batch :
   jobs:int ->
   ?budget:Engine.budget ->
@@ -46,3 +62,82 @@ val run_batch :
     (or stack/heap exhaustion) escaping a task degrades that task to
     [Error]; any other exception is a batch-level failure and is
     re-raised on the calling domain after all workers have drained. *)
+
+(** {1 Supervised persistent pool}
+
+    The long-lived counterpart of {!run_batch}, built for [retreet
+    serve]: worker domains outlive any individual job, an uncaught
+    exception escaping a job ("a worker crash") is isolated — the crash
+    kills only that worker domain, the supervisor respawns it with
+    bounded exponential backoff, and the in-flight job is requeued for
+    bounded retry before degrading to a typed {!Supervised.Crashed}
+    outcome.  The pool itself never dies. *)
+
+module Supervised : sig
+  type 'a t
+  (** A pool of worker domains executing [unit -> 'a] jobs.  Jobs are
+      responsible for their own solver hygiene (fresh {!Solver_ctx},
+      budget guards): any exception that escapes a job is treated as a
+      worker crash, not a result. *)
+
+  type 'a outcome =
+    | Done of 'a
+    | Crashed of { attempts : int; last_exn : string }
+        (** every attempt (1 + retries) died on a worker crash *)
+    | Cancelled of string
+        (** drain cut the job before a worker completed it *)
+
+  type stats = {
+    submitted : int;  (** jobs accepted by {!submit}/{!run} *)
+    completed : int;  (** jobs resolved [Done] *)
+    crashes : int;  (** worker crashes observed *)
+    restarts : int;  (** worker domains respawned after a crash *)
+    retries : int;  (** jobs requeued after their worker crashed *)
+    max_depth : int;  (** high-water mark of the job queue *)
+  }
+
+  val default_backoff : int -> float
+  (** [default_backoff k] — delay before the [k]-th consecutive respawn
+      of a worker slot: [min 0.5 (0.01 *. 2. ** k)] seconds (bounded
+      exponential). *)
+
+  val create :
+    workers:int ->
+    ?max_retries:int ->
+    ?backoff:(int -> float) ->
+    unit ->
+    'a t
+  (** Spawn [max 1 workers] worker domains, each watched by a supervisor
+      thread.  [max_retries] (default 1) bounds how many times a job is
+      requeued after a crash before resolving [Crashed]; [backoff]
+      (default {!default_backoff}) maps a slot's consecutive-restart
+      count to the pre-respawn delay in seconds. *)
+
+  type 'a ticket
+  (** A handle on a submitted job. *)
+
+  val submit : 'a t -> (unit -> 'a) -> 'a ticket
+  (** Enqueue a job without blocking.  The ["pool.submit"] fault
+      decision ({!submit_site}) is made here, on the calling thread's
+      domain — callers that arm a site per request should hold their
+      arming lock only across this call, not across {!await}. *)
+
+  val await : 'a t -> 'a ticket -> 'a outcome
+  (** Block the calling thread until the job resolves. *)
+
+  val run : 'a t -> (unit -> 'a) -> 'a outcome
+  (** [run t work] = [await t (submit t work)].  Thread-safe; any number
+      of callers may have jobs in flight. *)
+
+  val depth : 'a t -> int
+  (** Jobs queued and not yet picked up by a worker (admission signal). *)
+
+  val stats : 'a t -> stats
+
+  val drain : ?grace:float -> 'a t -> int
+  (** Stop the pool: no further submissions are accepted ([run] after
+      [drain] returns [Cancelled]), queued and in-flight jobs get up to
+      [grace] seconds (default 5) to finish, then the still-queued tail
+      is resolved [Cancelled] and workers exit as they come free.
+      Returns the number of cancelled jobs.  Idempotent. *)
+end

@@ -1,0 +1,136 @@
+(** The solver daemon's core: options, typed replies, and the supervised
+    query engine behind [retreet serve].
+
+    The transport ({!Serve_server}, {!Serve_wire}) is a thin shell
+    around {!Core.solve}, which owns the robustness pipeline:
+
+    + {b admission control} — per-client wall-clock ledgers
+      ({!Engine.Ledger}) plus a queue-depth cap shed load with a typed
+      [Overloaded] reply instead of letting one client starve the rest;
+    + {b reply cache} — a content-hash → rendered-reply LRU cache
+      ({!Serve_cache}) under a node-denominated capacity carries warm
+      state across queries without ever changing a byte of output;
+    + {b supervision} — queries run on {!Pool.Supervised} worker
+      domains; an uncaught crash is isolated, the worker restarted with
+      bounded backoff, the query retried once, and only then degraded to
+      a typed [Server_unknown] reply.  The daemon never dies with a
+      query.
+
+    Byte identity with [retreet batch] is a hard contract: a cache miss
+    runs the query under exactly the per-query wrapping batch mode uses
+    (fresh {!Solver_ctx}, budget guard, per-query fault arming on the
+    worker domain), renders it with the same {!render_race}, and a cache
+    hit replays those exact bytes. *)
+
+(** {1 Query options} *)
+
+type options = {
+  client : string;  (** admission-control identity *)
+  budget : Engine.budget;  (** per-query resource budget *)
+  vlevel : Validate.level;  (** verdict self-validation level *)
+  inject : (string * int * int) option;
+      (** testing only: [(site, seed, period)] armed around the query *)
+}
+
+val default_options : options
+(** Client ["anonymous"], unlimited budget, validation level
+    [Witness] (the CLI defaults), no injection. *)
+
+val parse_inject_spec : string -> (string * int * int, string) result
+(** Parse a ["SITE:SEED[:PERIOD]"] spec (period defaults to 13, the
+    CLI's default).  Site-name existence is checked at solve time, where
+    the registry is complete. *)
+
+val options_of_assoc : (string * string) list -> (options, string) result
+(** Decode wire [k=v] pairs ([client], [validate], [timeout],
+    [max-nodes], [max-states], [max-steps], [inject]); unknown keys and
+    unparsable values are errors. *)
+
+val options_to_assoc : options -> (string * string) list
+(** Encode for the wire; [options_of_assoc (options_to_assoc o) = Ok o]. *)
+
+(** {1 Replies} *)
+
+type reply =
+  | Verdict of { code : int; text : string }
+      (** a solver verdict; [code] follows the CLI exit-code contract
+          (0 proof, 1 counterexample, 3 unknown, 4 failed
+          self-validation) and [text] is byte-identical to the batch
+          per-program line *)
+  | Bad_request of string  (** malformed options or program (exit 2) *)
+  | Overloaded of string  (** shed by admission control; retry later *)
+  | Server_unknown of string
+      (** the query crashed its worker on every attempt; the verdict is
+          unknown but the daemon is healthy *)
+  | Draining of string  (** the server is shutting down *)
+
+val status_word : reply -> string
+(** The wire status token: [REPLY], [ERROR], [OVERLOADED],
+    [SERVER-UNKNOWN], or [DRAINING]. *)
+
+val reply_code : reply -> int
+(** The exit code a client should propagate: the verdict's own code, 2
+    for [Bad_request], 3 for the rest (unknown-shaped degradations). *)
+
+val reply_text : reply -> string
+
+(** {1 Rendering} *)
+
+val render_race :
+  (Analysis.race_result * Validate.report, Engine.reason) result ->
+  string * int
+(** Render a data-race query result to the [(text, exit-code)] the CLI
+    prints — the {e single} rendering used by both [retreet batch] and
+    the daemon, so serve-mode verdicts are byte-identical to batch mode
+    by construction. *)
+
+val fingerprint : options:options -> source:string -> string
+(** The content-hash cache key: a digest over the source and every
+    verdict-affecting option (budget, validation level, injection spec —
+    {e not} the client name, so identical queries share cache across
+    clients). *)
+
+(** {1 The daemon core} *)
+
+module Core : sig
+  type t
+
+  val create :
+    ?workers:int ->
+    ?max_queue:int ->
+    ?cache_nodes:int ->
+    ?allowance:float ->
+    ?window:float ->
+    ?max_retries:int ->
+    ?backoff:(int -> float) ->
+    unit ->
+    t
+  (** [create ()] starts the supervised worker pool and empty caches.
+      [workers] (default 2) solver domains; [max_queue] (default 64)
+      caps the queued-job depth before shedding; [cache_nodes] (default
+      [1_000_000]) is the reply cache's node-weight capacity ([0]
+      disables caching); [allowance]/[window] (defaults 30s/60s)
+      parameterize the per-client {!Engine.Ledger}; [max_retries]
+      (default 1) and [backoff] are passed to {!Pool.Supervised.create}. *)
+
+  val solve : t -> options:options -> source:string -> reply
+  (** Run one query through admission control, the reply cache, and the
+      supervised pool.  Blocks the calling thread until the reply is
+      known.  Thread-safe. *)
+
+  val note_bad_request : t -> unit
+  (** Count a request the transport rejected before it reached {!solve}
+      (malformed wire options). *)
+
+  val metrics_text : t -> string
+  (** The [--metrics] report: one [key value] line each for uptime, qps,
+      shed/degraded counts, cache hit rate and occupancy, queue depth,
+      worker crash/restart/retry counts, and p50/p99 solve time. *)
+
+  val draining : t -> bool
+
+  val drain : ?grace:float -> t -> int
+  (** Stop admitting queries ([solve] replies [Draining]) and drain the
+      pool ({!Pool.Supervised.drain}); returns the number of queries cut
+      by the grace deadline. *)
+end

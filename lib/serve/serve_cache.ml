@@ -1,0 +1,108 @@
+(* Weighted LRU reply cache.  See serve_cache.mli for the contract.
+
+   LRU order is a monotone stamp per entry; eviction scans for the
+   minimum stamp.  The scan is O(entries), which is fine here: entries
+   are whole queries (tens to hundreds resident), and eviction only runs
+   on insertion of a heavier-than-free entry. *)
+
+type entry = { weight : int; value : string * int; mutable stamp : int }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  weight : int;
+  capacity : int;
+}
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  m : Mutex.t;
+  mutable total : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  {
+    capacity;
+    tbl = Hashtbl.create 64;
+    m = Mutex.create ();
+    total = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+        t.tick <- t.tick + 1;
+        e.stamp <- t.tick;
+        t.hits <- t.hits + 1;
+        Some e.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+(* with [t.m] held *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= e.stamp -> acc
+        | _ -> Some (key, e))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, e) ->
+    Hashtbl.remove t.tbl key;
+    t.total <- t.total - e.weight;
+    t.evictions <- t.evictions + 1
+
+let add t ~key ~weight value =
+  let weight = max 1 weight in
+  locked t (fun () ->
+      if weight <= t.capacity then begin
+        (match Hashtbl.find_opt t.tbl key with
+        | Some old ->
+          Hashtbl.remove t.tbl key;
+          t.total <- t.total - old.weight
+        | None -> ());
+        (* evict before inserting, so the resident total never exceeds
+           the capacity even transiently *)
+        while t.total + weight > t.capacity do
+          evict_lru t
+        done;
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.tbl key { weight; value; stamp = t.tick };
+        t.total <- t.total + weight
+      end)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+        weight = t.total;
+        capacity = t.capacity;
+      })
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.total <- 0)

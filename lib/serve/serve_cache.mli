@@ -1,0 +1,47 @@
+(** Weighted LRU reply cache for the solver daemon.
+
+    The daemon's "compile cache" stores {e complete rendered replies}
+    keyed by a content hash of the query (source + every
+    verdict-affecting option).  Caching whole replies — rather than
+    intermediate automata — is what makes warm state compatible with the
+    byte-identity contract: a hit replays exactly the bytes a cold solve
+    produced, so hit ≡ miss ≡ cold by construction, and eviction can
+    never flip a verdict (the qcheck property pins this).
+
+    Entries are weighted by the BDD/MTBDD nodes the original solve
+    allocated ({!Engine.metered}), and the total weight never exceeds
+    the configured node capacity: the cache lives under the same
+    node-denominated budget regime as the solver itself.  Eviction is
+    least-recently-used.  All operations are thread-safe. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;  (** lookups that missed (including uncacheable keys) *)
+  evictions : int;  (** entries evicted to make room *)
+  entries : int;  (** entries currently resident *)
+  weight : int;  (** total resident weight (≤ capacity, invariant) *)
+  capacity : int;
+}
+
+val create : capacity:int -> t
+(** A cache holding at most [capacity] total weight ([capacity <= 0]
+    disables storage: every lookup misses and {!add} is a no-op). *)
+
+val find : t -> string -> (string * int) option
+(** Look up a reply [(text, code)] by key, marking it most recently
+    used.  Counts a hit or a miss. *)
+
+val add : t -> key:string -> weight:int -> string * int -> unit
+(** Insert a reply under [key] with the given weight (clamped to at
+    least 1), evicting least-recently-used entries until the total
+    weight fits the capacity again.  A reply heavier than the whole
+    capacity is not stored at all — the resident total never exceeds
+    the capacity, even transiently.  Re-adding an existing key
+    refreshes it. *)
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every entry (counters are kept). *)

@@ -1,0 +1,37 @@
+(* Daemon client.  See serve_client.mli. *)
+
+type conn = { ic : in_channel; oc : out_channel }
+
+let connect ?(wait = 0.) path =
+  let deadline = Unix.gettimeofday () +. wait in
+  let addr = Unix.ADDR_UNIX path in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+      Ok { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception
+        Unix.Unix_error
+          ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.close fd;
+      Thread.delay 0.05;
+      go ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+  in
+  go ()
+
+let roundtrip conn req =
+  match Serve_wire.write_request conn.oc req with
+  | exception Sys_error msg -> Error ("connection lost: " ^ msg)
+  | () -> (
+    match Serve_wire.read_reply conn.ic with
+    | Some reply -> Ok reply
+    | None -> Error "the server closed the connection")
+
+let close conn =
+  (try close_out_noerr conn.oc with _ -> ());
+  try close_in_noerr conn.ic with _ -> ()

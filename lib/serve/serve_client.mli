@@ -1,0 +1,17 @@
+(** Client side of the daemon protocol, used by [retreet ask] and the
+    test suite. *)
+
+type conn
+
+val connect : ?wait:float -> string -> (conn, string) result
+(** Connect to the daemon's socket, retrying a missing or
+    not-yet-listening socket for up to [wait] seconds (default 0: one
+    attempt) — so a client started concurrently with the server does
+    not race its bind. *)
+
+val roundtrip :
+  conn -> Serve_wire.request -> (string * int * string, string) result
+(** Send one request and read the [(status, code, payload)] reply.
+    [Error] when the server closed the connection mid-exchange. *)
+
+val close : conn -> unit

@@ -1,0 +1,61 @@
+(* Daemon counters and solve-time percentiles.  See serve_metrics.mli. *)
+
+type counter = Queries | Overloaded | Server_unknown | Draining | Bad_requests
+
+let ring_size = 512
+
+type t = {
+  started : float;
+  m : Mutex.t;
+  counts : int array;  (* indexed by counter *)
+  ring : float array;  (* recent solve wall-times, seconds *)
+  mutable nsolves : int;
+}
+
+let index = function
+  | Queries -> 0
+  | Overloaded -> 1
+  | Server_unknown -> 2
+  | Draining -> 3
+  | Bad_requests -> 4
+
+let create () =
+  {
+    started = Unix.gettimeofday ();
+    m = Mutex.create ();
+    counts = Array.make 5 0;
+    ring = Array.make ring_size 0.;
+    nsolves = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let incr t c =
+  locked t (fun () ->
+      let i = index c in
+      t.counts.(i) <- t.counts.(i) + 1)
+
+let count t c = locked t (fun () -> t.counts.(index c))
+
+let record_solve t dt =
+  locked t (fun () ->
+      t.ring.(t.nsolves mod ring_size) <- dt;
+      t.nsolves <- t.nsolves + 1)
+
+let solves t = locked t (fun () -> t.nsolves)
+
+let percentile t p =
+  locked t (fun () ->
+      let n = min t.nsolves ring_size in
+      if n = 0 then 0.
+      else begin
+        let a = Array.sub t.ring 0 n in
+        Array.sort compare a;
+        (* nearest rank: the ceil(p*n)-th smallest sample *)
+        let rank = int_of_float (ceil (p *. float_of_int n)) in
+        a.(max 0 (min (n - 1) (rank - 1)))
+      end)
+
+let uptime t = Unix.gettimeofday () -. t.started

@@ -1,0 +1,132 @@
+(* Socket daemon shell.  See serve_server.mli for the contract. *)
+
+let ignore_exn f = try f () with _ -> ()
+
+(* Bind the listener, recovering a stale socket file: if nothing
+   accepts on the path, the previous server died without unlinking. *)
+let listen_on path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_UNIX path in
+  (match Unix.bind fd addr with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe addr with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    Unix.close probe;
+    if live then begin
+      Unix.close fd;
+      failwith (Printf.sprintf "another server is live on %s" path)
+    end
+    else begin
+      Unix.unlink path;
+      Unix.bind fd addr
+    end);
+  Unix.listen fd 64;
+  fd
+
+(* One connection: serve requests until EOF or a framing error. *)
+let handle core fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let reply r =
+    Serve_wire.write_reply oc ~status:(Serve.status_word r)
+      ~code:(Serve.reply_code r) (Serve.reply_text r)
+  in
+  let rec loop () =
+    match Serve_wire.read_request ic with
+    | None -> ()
+    | Some (Error msg) ->
+      (* drop the connection: after a framing error the stream position
+         is unreliable *)
+      Serve_wire.write_reply oc ~status:"ERROR" ~code:2 msg
+    | Some (Ok req) ->
+      (match req with
+      | Serve_wire.Ping -> Serve_wire.write_reply oc ~status:"PONG" ~code:0 ""
+      | Serve_wire.Metrics ->
+        Serve_wire.write_reply oc ~status:"METRICS" ~code:0
+          (Serve.Core.metrics_text core)
+      | Serve_wire.Solve { opts; source } -> (
+        match Serve.options_of_assoc opts with
+        | Error msg ->
+          Serve.Core.note_bad_request core;
+          reply (Serve.Bad_request msg)
+        | Ok options -> reply (Serve.Core.solve core ~options ~source)));
+      loop ()
+  in
+  ignore_exn loop;
+  ignore_exn (fun () -> close_out_noerr oc);
+  ignore_exn (fun () -> Unix.close fd)
+
+let run ~socket ?workers ?max_queue ?cache_nodes ?allowance ?window
+    ?(grace = 5.) () =
+  match listen_on socket with
+  | exception Failure msg ->
+    Fmt.epr "retreet serve: %s@." msg;
+    2
+  | lfd ->
+    (* A client that vanishes mid-reply must not kill the daemon. *)
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+    (* Self-pipe: signal handlers only set a byte; the accept loop's
+       select sees it at a safe point. *)
+    let stop_r, stop_w = Unix.pipe () in
+    let note_stop _ =
+      ignore_exn (fun () ->
+          ignore (Unix.write stop_w (Bytes.make 1 '!') 0 1))
+    in
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle note_stop));
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle note_stop));
+    let core =
+      Serve.Core.create ?workers ?max_queue ?cache_nodes ?allowance ?window ()
+    in
+    let active = ref 0 in
+    let active_m = Mutex.create () in
+    let bump d =
+      Mutex.lock active_m;
+      active := !active + d;
+      Mutex.unlock active_m
+    in
+    Fmt.pr "retreet serve: listening on %s@." socket;
+    Format.pp_print_flush Fmt.stdout ();
+    let rec accept_loop () =
+      match Unix.select [ lfd; stop_r ] [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | ready, _, _ ->
+        if List.mem stop_r ready then ()
+        else begin
+          (match Unix.accept lfd with
+          | fd, _ ->
+            bump 1;
+            ignore
+              (Thread.create
+                 (fun () ->
+                   Fun.protect
+                     ~finally:(fun () -> bump (-1))
+                     (fun () -> handle core fd))
+                 ())
+          | exception Unix.Unix_error _ -> ());
+          accept_loop ()
+        end
+    in
+    accept_loop ();
+    (* Graceful drain: stop accepting first, then give in-flight work
+       the grace slice, then report and leave. *)
+    Fmt.pr "retreet serve: draining (grace %.1fs)@." grace;
+    Format.pp_print_flush Fmt.stdout ();
+    ignore_exn (fun () -> Unix.close lfd);
+    ignore_exn (fun () -> Unix.unlink socket);
+    let cut = Serve.Core.drain ~grace core in
+    (* Handler threads only have replies left to write; give them a
+       bounded moment to finish before the process exits. *)
+    let deadline = Unix.gettimeofday () +. 2. in
+    while !active > 0 && Unix.gettimeofday () < deadline do
+      Thread.delay 0.02
+    done;
+    Fmt.pr "retreet serve: drained (%d quer%s cut)@.%s" cut
+      (if cut = 1 then "y" else "ies")
+      (Serve.Core.metrics_text core);
+    Format.pp_print_flush Fmt.stdout ();
+    0

@@ -1,0 +1,27 @@
+(** The [retreet serve] daemon shell: a Unix-domain socket front-end for
+    {!Serve.Core}.
+
+    One accept loop (the main thread) hands each connection to a
+    handler thread; solving itself happens on the core's supervised
+    worker domains, so a slow query never blocks accepting.  SIGTERM
+    and SIGINT trigger a graceful drain: the listener closes, in-flight
+    queries get the remaining grace slice, the still-queued tail is cut
+    with typed [DRAINING] replies, the final metrics report (cache
+    stats included) is flushed to stdout, and the process exits 0. *)
+
+val run :
+  socket:string ->
+  ?workers:int ->
+  ?max_queue:int ->
+  ?cache_nodes:int ->
+  ?allowance:float ->
+  ?window:float ->
+  ?grace:float ->
+  unit ->
+  int
+(** Serve on [socket] until a termination signal; returns the process
+    exit code (0 after a clean drain).  A stale socket file left by a
+    dead server is detected (nothing accepts on it) and replaced; a
+    {e live} server on the same path is an error (exit 2).  Parameters
+    are those of {!Serve.Core.create}; [grace] (default 5s) bounds the
+    drain. *)

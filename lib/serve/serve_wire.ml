@@ -1,0 +1,84 @@
+(* Wire framing.  See serve_wire.mli for the grammar. *)
+
+type request =
+  | Solve of { opts : (string * string) list; source : string }
+  | Metrics
+  | Ping
+
+let max_payload = 16 * 1024 * 1024
+
+let read_payload ic n =
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  Bytes.unsafe_to_string b
+
+let parse_kv tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+    Ok
+      ( String.sub tok 0 i,
+        String.sub tok (i + 1) (String.length tok - i - 1) )
+  | None -> Error (Printf.sprintf "bad option token %S (expected key=value)" tok)
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let length_field s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 && n <= max_payload -> Ok n
+  | _ -> Error (Printf.sprintf "bad payload length %S" s)
+
+let read_request ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line ->
+    Some
+      (match tokens line with
+      | [ "PING" ] -> Ok Ping
+      | [ "METRICS" ] -> Ok Metrics
+      | "SOLVE" :: len :: opts -> (
+        let ( let* ) = Result.bind in
+        let* n = length_field len in
+        let* opts =
+          List.fold_left
+            (fun acc tok ->
+              let* kvs = acc in
+              let* kv = parse_kv tok in
+              Ok (kv :: kvs))
+            (Ok []) opts
+        in
+        match read_payload ic n with
+        | source -> Ok (Solve { opts = List.rev opts; source })
+        | exception End_of_file -> Error "truncated SOLVE payload")
+      | _ -> Error (Printf.sprintf "bad request line %S" line))
+
+let write_request oc = function
+  | Ping -> output_string oc "PING\n"; flush oc
+  | Metrics -> output_string oc "METRICS\n"; flush oc
+  | Solve { opts; source } ->
+    let opts =
+      String.concat ""
+        (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) opts)
+    in
+    Printf.fprintf oc "SOLVE %d%s\n" (String.length source) opts;
+    output_string oc source;
+    flush oc
+
+let read_reply ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line -> (
+    match tokens line with
+    | [ status; code; len ] -> (
+      match (int_of_string_opt code, length_field len) with
+      | Some code, Ok n -> (
+        match read_payload ic n with
+        | payload -> Some (status, code, payload)
+        | exception End_of_file -> None)
+      | _ -> None)
+    | _ -> None)
+
+let write_reply oc ~status ~code payload =
+  Printf.fprintf oc "%s %d %d\n" status code (String.length payload);
+  output_string oc payload;
+  flush oc

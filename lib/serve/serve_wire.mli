@@ -1,0 +1,44 @@
+(** The daemon's wire protocol: a line-framed, length-prefixed exchange
+    over a Unix-domain stream socket.
+
+    Requests (one header line, then an exact-length payload):
+    {v
+    SOLVE <nbytes> [key=value ...]\n<nbytes of program source>
+    METRICS\n
+    PING\n
+    v}
+    Option keys and values are space-free tokens (see
+    {!Serve.options_of_assoc} for the vocabulary).
+
+    Replies are uniform:
+    {v
+    <STATUS> <code> <nbytes>\n<nbytes of payload>
+    v}
+    where [STATUS] is [REPLY], [ERROR], [OVERLOADED], [SERVER-UNKNOWN],
+    [DRAINING], [METRICS], or [PONG], and [code] follows the CLI
+    exit-code contract ({!Serve.reply_code}; 0 for [METRICS]/[PONG]).
+
+    Payload sizes are capped ({!max_payload}) so a garbled length field
+    cannot make the server allocate unboundedly. *)
+
+type request =
+  | Solve of { opts : (string * string) list; source : string }
+  | Metrics
+  | Ping
+
+val max_payload : int
+(** Upper bound on a request or reply payload (16 MiB). *)
+
+val read_request : in_channel -> (request, string) result option
+(** Read one request; [None] on a clean EOF, [Error] on a malformed
+    header (the connection should be dropped after replying). *)
+
+val write_request : out_channel -> request -> unit
+(** Flushes. *)
+
+val read_reply : in_channel -> (string * int * string) option
+(** Read one [(status, code, payload)] reply; [None] on EOF or a
+    malformed header. *)
+
+val write_reply : out_channel -> status:string -> code:int -> string -> unit
+(** Flushes. *)

@@ -1,0 +1,104 @@
+The solver daemon end to end.  The socket lives in the cram sandbox
+under a relative path (sun_path is capped at ~100 bytes).
+
+Start a daemon and solve against it:
+
+  $ retreet serve --socket s.sock --workers 2 --grace 10 > server.log 2>&1 &
+  $ SRV=$!
+  $ retreet ask --socket s.sock --wait 10 builtin:size_counting builtin:racy_writers
+  builtin:size_counting: data-race-free
+  builtin:racy_writers: DATA RACE
+  [1]
+
+Asking the same query again is served from the reply cache — same
+bytes, no new solve:
+
+  $ retreet ask --socket s.sock builtin:size_counting
+  builtin:size_counting: data-race-free
+  $ retreet ask --socket s.sock --metrics | awk '$1 == "cache_hits" && $2 > 0 { print "warm" }'
+  warm
+
+Differential: serve-mode verdicts are byte-identical to batch mode.
+Clean run over every bundled program:
+
+  $ ALL="builtin:size_counting builtin:size_counting_seq builtin:size_counting_fused builtin:size_counting_fused_invalid builtin:tree_mutation_seq builtin:tree_mutation_fused builtin:css_minification_seq builtin:css_minification_fused builtin:cycletree_seq builtin:cycletree_fused builtin:cycletree_par builtin:racy_writers"
+  $ retreet batch -j 2 $ALL > batch_clean.out
+  [1]
+  $ retreet ask --socket s.sock $ALL > ask_clean.out
+  [1]
+  $ cmp batch_clean.out ask_clean.out
+
+Budget-capped run (step budgets are deterministic, so the typed
+UNKNOWNs must match byte for byte too):
+
+  $ retreet batch -j 2 --max-steps 10 builtin:size_counting builtin:racy_writers builtin:tree_mutation_seq > batch_cap.out
+  [3]
+  $ retreet ask --socket s.sock --max-steps 10 builtin:size_counting builtin:racy_writers builtin:tree_mutation_seq > ask_cap.out
+  [3]
+  $ cmp batch_cap.out ask_cap.out
+
+Fault-injected run whose flipped verdict is caught by full
+self-validation (exit 4 on both sides, same bytes):
+
+  $ retreet batch --validate full --inject bdd.branch_flip:1 builtin:racy_writers > batch_inj.out
+  [4]
+  $ retreet ask --socket s.sock --validate full --inject bdd.branch_flip:1 builtin:racy_writers > ask_inj.out
+  [4]
+  $ cmp batch_inj.out ask_inj.out
+
+Crash isolation: pool.submit:1:1 crashes the worker that picks up the
+query.  The supervisor restarts the worker, retries the query once,
+then degrades it to a typed server-side UNKNOWN — and the daemon keeps
+serving other clients as if nothing happened:
+
+  $ retreet ask --socket s.sock --inject pool.submit:1:1 builtin:size_counting
+  builtin:size_counting: UNKNOWN: the query crashed its worker on all 2 attempts (last: Faults.Injected_crash("pool.submit")); the verdict is unknown but the server is healthy
+  [3]
+  $ retreet ask --socket s.sock builtin:tree_mutation_seq
+  builtin:tree_mutation_seq: data-race-free
+
+(The respawns happen asynchronously under backoff; give them a moment
+before reading the counters.)
+
+  $ sleep 1
+  $ retreet ask --socket s.sock --metrics | awk '$1 == "server_unknown" && $2 == 1 { print "degraded" } $1 == "worker_restarts" && $2 >= 2 { print "restarted" }'
+  degraded
+  restarted
+
+Malformed programs are rejected with a positioned error and exit 2,
+without consuming a worker:
+
+  $ cat > syntax.retreet <<'SRC'
+  > Main(n) {
+  >   m1: n.v = ;
+  >   mret: return
+  > }
+  > SRC
+  $ retreet ask --socket s.sock syntax.retreet
+  syntax.retreet: line 2, column 13: expected an Int expression, found ';'
+  [2]
+
+SIGTERM drains gracefully: in-flight queries finish, the socket is
+removed, final stats are flushed, and the exit code is 0:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ grep -c 'drained' server.log
+  1
+  $ test ! -e s.sock
+
+Admission control sheds load per client: with a tiny wall-clock
+allowance, a client that just burned solver time is refused with a
+typed OVERLOADED reply (exit 3) — while other clients are still
+admitted:
+
+  $ retreet serve --socket o.sock --allowance 0.001 > o.log 2>&1 &
+  $ OSRV=$!
+  $ retreet ask --socket o.sock --wait 10 --client greedy builtin:size_counting
+  builtin:size_counting: data-race-free
+  $ retreet ask --socket o.sock --client greedy builtin:size_counting | grep -o 'over budget'
+  over budget
+  $ retreet ask --socket o.sock --client modest builtin:size_counting
+  builtin:size_counting: data-race-free
+  $ kill -TERM $OSRV
+  $ wait $OSRV

@@ -1,0 +1,391 @@
+(* The serve layer: supervised-pool fault sites, the weighted LRU reply
+   cache, per-client admission ledgers, metered accounting, and Core's
+   byte-identity with the batch rendering.
+
+   The daemon's end-to-end behaviour (wire protocol, signals, sockets)
+   lives in the cram test test/serve.t; this module pins the pieces that
+   need process-internal observation — pool outcomes, cache stats,
+   explicit ledger clocks — and the qcheck property that the cache can
+   never serve bytes that differ from a cold solve. *)
+
+let level = Validate.Witness
+let source name = List.assoc name Programs.all_named
+
+(* Exactly the per-query wrapping and rendering `retreet batch` uses:
+   fresh context, check, render.  Core.solve must reproduce these bytes. *)
+let batch_line ?(budget = Engine.unlimited) name =
+  let info = Programs.load (source name) in
+  Solver_ctx.with_fresh (fun () ->
+      let r, _usage =
+        Engine.metered (fun () -> Validate.check_data_race ~level ~budget info)
+      in
+      Serve.render_race r)
+
+let opts ?(client = "test") ?(budget = Engine.unlimited) ?inject () =
+  { Serve.client; budget; vlevel = level; inject }
+
+(* --- pool.steal is masked: stealing perturbs only scheduling --- *)
+
+let batch_progs = [ "size_counting"; "racy_writers"; "tree_mutation_seq" ]
+
+let run_batch ~arm progs =
+  let tasks =
+    List.map
+      (fun name task_budget ->
+        let info = Programs.load (source name) in
+        let query () = Validate.check_data_race ~level ~budget:task_budget info in
+        if not arm then query ()
+        else begin
+          (* period 1: every steal scan skips a victim *)
+          Faults.arm ~site:"pool.steal" ~seed:5 ~period:1 ();
+          Fun.protect ~finally:Faults.disarm query
+        end)
+      progs
+  in
+  Pool.run_batch ~jobs:4 tasks
+  |> List.map (function
+       | Error (_ : Engine.reason) -> ("batch-cancelled", 3)
+       | Ok res -> Serve.render_race (Ok res))
+
+let test_steal_masked () =
+  let clean = run_batch ~arm:false batch_progs in
+  let armed = run_batch ~arm:true batch_progs in
+  List.iteri
+    (fun i name ->
+      let t0, c0 = List.nth clean i and t1, c1 = List.nth armed i in
+      Alcotest.(check string) (name ^ " text unchanged under pool.steal") t0 t1;
+      Alcotest.(check int) (name ^ " code unchanged under pool.steal") c0 c1)
+    batch_progs
+
+(* --- pool.submit is caught: crash, restart, retry, typed outcome --- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_submit_caught () =
+  let p = Pool.Supervised.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Pool.Supervised.drain p))
+    (fun () ->
+      Faults.arm ~site:"pool.submit" ~seed:1 ~period:1 ();
+      let ticket = Pool.Supervised.submit p (fun () -> 0) in
+      Faults.disarm ();
+      (match Pool.Supervised.await p ticket with
+      | Pool.Supervised.Crashed { attempts; last_exn } ->
+        Alcotest.(check int) "attempts = 1 + max_retries" 2 attempts;
+        Alcotest.(check bool)
+          "crash names the injected site" true
+          (contains ~sub:"pool.submit" last_exn)
+      | Pool.Supervised.Done _ -> Alcotest.fail "sabotaged job completed"
+      | Pool.Supervised.Cancelled _ -> Alcotest.fail "sabotaged job cancelled");
+      (* the pool survived: a clean job still completes *)
+      (match Pool.Supervised.run p (fun () -> 41 + 1) with
+      | Pool.Supervised.Done v -> Alcotest.(check int) "pool alive" 42 v
+      | _ -> Alcotest.fail "clean job did not complete after crashes");
+      (* respawns are asynchronous (backoff); wait for the counters *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      let rec stats () =
+        let s = Pool.Supervised.stats p in
+        if s.Pool.Supervised.restarts >= 2 || Unix.gettimeofday () > deadline
+        then s
+        else (Thread.delay 0.02; stats ())
+      in
+      let s = stats () in
+      Alcotest.(check int) "two crashes" 2 s.Pool.Supervised.crashes;
+      Alcotest.(check int) "one retry" 1 s.Pool.Supervised.retries;
+      Alcotest.(check int) "two restarts" 2 s.Pool.Supervised.restarts)
+
+(* --- the reply cache: weight bound + hit ≡ miss ≡ cold (QCheck) ---
+
+   Keys are content hashes in the daemon, so a key determines its reply
+   bytes.  The model mirrors that: the value stored under key k is
+   always [value_of k], and the property asserts a find can only return
+   that exact value or miss — eviction and refusal can lose warmth,
+   never change bytes.  The weight invariant is checked after every
+   operation, not just at the end. *)
+
+type cache_op = Add of int * int | Find of int | Clear
+
+let value_of k = (Printf.sprintf "reply-%d" k, k mod 5)
+
+let cache_ops_gen =
+  QCheck2.Gen.(
+    pair (int_range 1 60)
+      (list_size (int_range 1 120)
+         (frequency
+            [
+              (5, map2 (fun k w -> Add (k, w)) (int_bound 15) (int_range 0 80));
+              (4, map (fun k -> Find k) (int_bound 15));
+              (1, return Clear);
+            ])))
+
+let test_cache_model =
+  QCheck2.Test.make ~count:300 ~name:"cache: weight bounded, bytes never flip"
+    cache_ops_gen (fun (capacity, ops) ->
+      let c = Serve_cache.create ~capacity in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Add (k, w) -> Serve_cache.add c ~key:(string_of_int k) ~weight:w (value_of k)
+          | Clear -> Serve_cache.clear c
+          | Find k -> (
+            match Serve_cache.find c (string_of_int k) with
+            | None -> ()
+            | Some v ->
+              if v <> value_of k then
+                QCheck2.Test.fail_report "cache returned foreign bytes"));
+          let s = Serve_cache.stats c in
+          s.Serve_cache.weight <= max 0 capacity
+          && s.Serve_cache.weight >= 0
+          && s.Serve_cache.entries >= 0)
+        ops)
+
+(* --- Core byte-identity with batch, cold and warm --- *)
+
+let metric core key =
+  Serve.Core.metrics_text core |> String.split_on_char '\n'
+  |> List.find_map (fun line ->
+         match String.split_on_char ' ' (String.trim line) with
+         | k :: rest when k = key -> (
+           match List.filter (fun s -> s <> "") rest with
+           | [ v ] -> Some v
+           | _ -> None)
+         | _ -> None)
+
+let verdict_of_reply name = function
+  | Serve.Verdict { code; text } -> (text, code)
+  | r -> Alcotest.fail (name ^ ": expected a verdict, got " ^ Serve.reply_text r)
+
+let test_core_matches_batch () =
+  let core = Serve.Core.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Serve.Core.drain ~grace:1. core))
+    (fun () ->
+      let tight = Engine.budget ~max_steps:10 () in
+      List.iter
+        (fun name ->
+          let src = source name in
+          List.iter
+            (fun budget ->
+              let expect = batch_line ~budget name in
+              let got =
+                Serve.Core.solve core ~options:(opts ~budget ()) ~source:src
+                |> verdict_of_reply name
+              in
+              Alcotest.(check (pair string int)) (name ^ " cold") expect got;
+              (* warm path: the cache hit replays the same bytes *)
+              let warm =
+                Serve.Core.solve core ~options:(opts ~budget ()) ~source:src
+                |> verdict_of_reply name
+              in
+              Alcotest.(check (pair string int)) (name ^ " warm") expect warm)
+            [ Engine.unlimited; tight ])
+        [ "size_counting"; "racy_writers" ];
+      match metric core "cache_hits" with
+      | Some v ->
+        Alcotest.(check bool) "warm queries hit the cache" true
+          (int_of_string v >= 4)
+      | None -> Alcotest.fail "no cache_hits metric")
+
+(* The acceptance scenario, in-process and genuinely concurrent: while a
+   sabotaged query crashes its worker (twice — retry included), clean
+   clients solving on other threads still get the exact batch bytes, and
+   the victim gets the typed degradation. *)
+let test_crash_isolation_concurrent () =
+  let core = Serve.Core.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Serve.Core.drain ~grace:1. core))
+    (fun () ->
+      let expect = batch_line "size_counting" in
+      let victim = ref None in
+      let vt =
+        Thread.create
+          (fun () ->
+            victim :=
+              Some
+                (Serve.Core.solve core
+                   ~options:
+                     (opts ~client:"victim"
+                        ~inject:("pool.submit", 1, 1) ())
+                   ~source:(source "racy_writers")))
+          ()
+      in
+      let results = Array.make 3 None in
+      let clients =
+        List.init 3 (fun i ->
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  Some
+                    (Serve.Core.solve core
+                       ~options:(opts ~client:(string_of_int i) ())
+                       ~source:(source "size_counting")))
+              ())
+      in
+      Thread.join vt;
+      List.iter Thread.join clients;
+      (match !victim with
+      | Some (Serve.Server_unknown msg) ->
+        Alcotest.(check bool) "degradation names the crash" true
+          (contains ~sub:"pool.submit" msg)
+      | Some r ->
+        Alcotest.fail ("victim got " ^ Serve.status_word r ^ ": "
+                       ^ Serve.reply_text r)
+      | None -> Alcotest.fail "victim thread produced nothing");
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Some reply ->
+            Alcotest.(check (pair string int))
+              (Printf.sprintf "concurrent client %d unaffected" i)
+              expect
+              (verdict_of_reply "client" reply)
+          | None -> Alcotest.fail "client thread produced nothing")
+        results)
+
+(* Eviction pressure never changes bytes: a cache too small to hold any
+   real reply (capacity 1) and a disabled cache (capacity 0) produce the
+   same verdicts as a roomy one, twice in a row. *)
+let test_eviction_never_flips () =
+  let progs = [ "size_counting"; "racy_writers" ] in
+  let expected = List.map (fun n -> batch_line n) progs in
+  List.iter
+    (fun cache_nodes ->
+      let core = Serve.Core.create ~workers:2 ~cache_nodes () in
+      Fun.protect
+        ~finally:(fun () -> ignore (Serve.Core.drain ~grace:1. core))
+        (fun () ->
+          for _round = 1 to 2 do
+            List.iter2
+              (fun name expect ->
+                let got =
+                  Serve.Core.solve core ~options:(opts ()) ~source:(source name)
+                  |> verdict_of_reply name
+                in
+                Alcotest.(check (pair string int))
+                  (Printf.sprintf "%s under cache_nodes=%d" name cache_nodes)
+                  expect got)
+              progs expected
+          done))
+    [ 1_000_000; 1; 0 ]
+
+(* --- admission ledger, on an explicit clock --- *)
+
+let test_ledger () =
+  let l = Engine.Ledger.create ~window:10. ~allowance:1. () in
+  let t0 = 1000. in
+  (match Engine.Ledger.admit ~now:t0 l ~client:"a" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("fresh client refused: " ^ e));
+  Engine.Ledger.charge ~now:t0 l ~client:"a" 4.;
+  (match Engine.Ledger.admit ~now:t0 l ~client:"a" with
+  | Ok () -> Alcotest.fail "client over allowance admitted"
+  | Error e ->
+    Alcotest.(check bool) "shed reason names the client" true
+      (contains ~sub:{|client "a"|} e));
+  (* an unrelated client is unaffected *)
+  (match Engine.Ledger.admit ~now:t0 l ~client:"b" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "unrelated client shed");
+  (* one half-life halves the debt; three decay 4s under the 1s bar *)
+  Alcotest.(check (float 1e-9)) "debt decays by half-lives" 2.
+    (Engine.Ledger.debt ~now:(t0 +. 10.) l ~client:"a");
+  (match Engine.Ledger.admit ~now:(t0 +. 10.) l ~client:"a" with
+  | Ok () -> Alcotest.fail "still over allowance after one half-life"
+  | Error _ -> ());
+  match Engine.Ledger.admit ~now:(t0 +. 30.) l ~client:"a" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("debt did not decay under allowance: " ^ e)
+
+(* --- metered accounting --- *)
+
+let test_metered () =
+  let r, u =
+    Engine.metered (fun () ->
+        for _ = 1 to 7 do
+          Engine.tick ()
+        done;
+        "done")
+  in
+  (match r with
+  | Ok s -> Alcotest.(check string) "metered result" "done" s
+  | Error _ -> Alcotest.fail "metered installed a limit");
+  Alcotest.(check int) "steps counted" 7 u.Engine.steps;
+  Alcotest.(check bool) "wall clock non-negative" true (u.Engine.wall_s >= 0.);
+  (* a nested exhausted budget degrades locally; the meter still counts *)
+  let r2, u2 =
+    Engine.metered (fun () ->
+        Engine.with_budget
+          (Engine.budget ~max_steps:3 ())
+          (fun () ->
+            for _ = 1 to 100 do
+              Engine.tick ()
+            done))
+  in
+  (match r2 with
+  | Ok (Error reason) ->
+    Alcotest.(check string) "inner budget exhausted" "solver-step"
+      (Engine.resource_name reason.Engine.resource)
+  | Ok (Ok ()) -> Alcotest.fail "inner budget did not bite"
+  | Error _ -> Alcotest.fail "inner exhaustion escaped the meter");
+  Alcotest.(check bool) "nested extent charged back" true (u2.Engine.steps >= 3)
+
+(* --- wire options roundtrip and cache fingerprints --- *)
+
+let test_options_roundtrip () =
+  let check_rt name o =
+    match Serve.options_of_assoc (Serve.options_to_assoc o) with
+    | Ok o' -> Alcotest.(check bool) (name ^ " roundtrips") true (o = o')
+    | Error e -> Alcotest.fail (name ^ ": " ^ e)
+  in
+  check_rt "defaults" Serve.default_options;
+  check_rt "full"
+    {
+      Serve.client = "a client name";
+      budget =
+        Engine.budget ~timeout:1.5 ~max_bdd_nodes:100_000 ~max_states:77
+          ~max_steps:12345 ();
+      vlevel = Validate.Full;
+      inject = Some ("bdd.branch_flip", 3, 5);
+    };
+  let o = opts () in
+  let fp = Serve.fingerprint ~options:o ~source:"Main(n) {}" in
+  Alcotest.(check string) "client does not key the cache" fp
+    (Serve.fingerprint ~options:{ o with Serve.client = "other" }
+       ~source:"Main(n) {}");
+  Alcotest.(check bool) "budget keys the cache" true
+    (fp
+    <> Serve.fingerprint
+         ~options:{ o with Serve.budget = Engine.budget ~max_steps:9 () }
+         ~source:"Main(n) {}");
+  Alcotest.(check bool) "source keys the cache" true
+    (fp <> Serve.fingerprint ~options:o ~source:"Main(m) {}")
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "serve"
+    [
+      ( "pool-sites",
+        [
+          Alcotest.test_case "pool.steal is masked" `Slow test_steal_masked;
+          Alcotest.test_case "pool.submit is caught" `Quick test_submit_caught;
+        ] );
+      ("cache", [ qt test_cache_model ]);
+      ( "core",
+        [
+          Alcotest.test_case "byte-identical to batch" `Slow
+            test_core_matches_batch;
+          Alcotest.test_case "eviction never flips" `Slow
+            test_eviction_never_flips;
+          Alcotest.test_case "crash isolation under concurrency" `Slow
+            test_crash_isolation_concurrent;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "ledger decay and shed" `Quick test_ledger;
+          Alcotest.test_case "metered accounting" `Quick test_metered;
+        ] );
+      ("wire", [ Alcotest.test_case "options roundtrip" `Quick test_options_roundtrip ]);
+    ]
