@@ -630,6 +630,142 @@ let serve_suite () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* robustness: durability and retry costs                              *)
+(* ------------------------------------------------------------------ *)
+
+let robustness_suite () =
+  Fmt.pr "@.== Robustness: snapshot durability and retry costs ==@.";
+  let progs =
+    [ "size_counting"; "size_counting_seq"; "racy_writers";
+      "tree_mutation_seq" ]
+    |> List.map (fun n -> (n, List.assoc n Programs.all_named))
+  in
+  let n = List.length progs in
+  let snap = "BENCH_robustness.snap" in
+  (try Sys.remove snap with Sys_error _ -> ());
+  let options = { Serve.default_options with Serve.client = "bench" } in
+  let solve_all core =
+    List.map
+      (fun (_, source) -> Serve.Core.solve core ~options ~source)
+      progs
+  in
+  (* warm a core, then time the durable save its drain performs *)
+  let core = Serve.Core.create ~workers:2 ~snapshot:snap () in
+  let cold = solve_all core in
+  let (_ : int), t_save = time (fun () -> Serve.Core.drain ~grace:5. core) in
+  (* snapshot load latency, alone *)
+  let (entries, status), t_load =
+    time (fun () -> Serve_snapshot.load ~path:snap)
+  in
+  let clean_load = status = Serve_snapshot.Clean (List.length entries) in
+  (* recovery after kill -9: atomic saves mean the worst crash leaves
+     the previous complete snapshot, plus possibly a torn temp file the
+     next save sweeps; time a full warm restart from that state — core
+     construction (load included) through re-answering every query *)
+  let tmp_debris = snap ^ ".tmp.99999" in
+  Out_channel.with_open_bin tmp_debris (fun oc ->
+      Out_channel.output_string oc "torn");
+  let metric name text =
+    (* metrics_text is column-aligned "name   value" lines *)
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           match
+             String.split_on_char ' ' line
+             |> List.filter (fun tok -> tok <> "")
+           with
+           | [ n'; v ] when n' = name -> float_of_string_opt v
+           | _ -> None)
+    |> Option.value ~default:0.
+  in
+  let (warm, hit_rate), t_recover =
+    time (fun () ->
+        let core = Serve.Core.create ~workers:2 ~snapshot:snap () in
+        let warm = solve_all core in
+        let m = Serve.Core.metrics_text core in
+        let hits = metric "cache_hits" m in
+        ignore (Serve.Core.drain ~grace:5. core);
+        (warm, hits /. float_of_int n))
+  in
+  let changes =
+    List.fold_left2
+      (fun acc a b -> if a = b then acc else acc + 1)
+      0 cold warm
+  in
+  (* retry success rate: a live listener, a torn-read fault re-armed on
+     every attempt (period 3: first frame read survives, a later one
+     tears), and the client's bounded backoff riding over it *)
+  let socket = "BENCH_robustness.sock" in
+  (try Sys.remove socket with Sys_error _ -> ());
+  let retry_trials = 20 in
+  let retried = ref 0 in
+  let succeeded = ref 0 in
+  let t_retry =
+    match Serve_server.start ~socket ~workers:2 ~grace:5. () with
+    | Error msg ->
+      Fmt.pr "  retry bench skipped: %s@." msg;
+      0.
+    | Ok srv ->
+      let source = snd (List.hd progs) in
+      let opts = Serve.options_to_assoc options in
+      let (), t =
+        time (fun () ->
+            for k = 1 to retry_trials do
+              let arm attempt =
+                Faults.arm ~period:5 ~site:"wire.read" ~seed:(k + attempt) ()
+              in
+              match
+                Serve_client.request_with_retry ~arm
+                  ~retry:
+                    { Serve_client.default_retry with
+                      retries = 4; base = 0.01; seed = k }
+                  ~socket ~wait:5.
+                  (Serve_wire.Solve { opts; source })
+              with
+              | Ok (reply, stats) ->
+                if stats.Serve_client.attempts > 1 then incr retried;
+                if reply.Serve_client.status = "REPLY" then incr succeeded
+              | Error _ -> ()
+            done)
+      in
+      ignore (Serve_server.stop srv);
+      t
+  in
+  let retry_rate = float_of_int !succeeded /. float_of_int retry_trials in
+  Fmt.pr "  %-28s %.3fs (drain incl. durable save)@." "snapshot save" t_save;
+  Fmt.pr "  %-28s %.4fs (%d entries, clean: %b)@." "snapshot load" t_load
+    (List.length entries) clean_load;
+  Fmt.pr "  %-28s %.3fs (cache hit rate %.2f)@." "recovery after kill -9"
+    t_recover hit_rate;
+  Fmt.pr "  %-28s %d/%d ok (%d retried) in %.2fs@." "retries under wire.read"
+    !succeeded retry_trials !retried t_retry;
+  let oc = open_out "BENCH_robustness.json" in
+  Printf.fprintf oc
+    "{\n  \"queries\": %d,\n  \"snapshot_save_s\": %.4f,\n  \
+     \"snapshot_load_s\": %.4f,\n  \"snapshot_entries\": %d,\n  \
+     \"snapshot_clean\": %b,\n  \"recovery_after_kill9_s\": %.4f,\n  \
+     \"warm_restart_hit_rate\": %.2f,\n  \"verdict_changes\": %d,\n  \
+     \"retry_trials\": %d,\n  \"retry_successes\": %d,\n  \
+     \"retry_success_rate\": %.2f,\n  \"retry_wall_s\": %.3f\n}\n"
+    n t_save t_load (List.length entries) clean_load t_recover hit_rate
+    changes retry_trials !succeeded retry_rate t_retry;
+  close_out oc;
+  Fmt.pr "  wrote BENCH_robustness.json@.";
+  (try Sys.remove snap with Sys_error _ -> ());
+  (try Sys.remove tmp_debris with Sys_error _ -> ());
+  (* the retry gate is deliberately loose: the injection is harsh (a
+     ~1/5-density torn read re-armed on every attempt), so exhausted
+     retries are expected — what must hold is that the retry path works
+     at all and recovered at least once *)
+  if changes > 0 || not clean_load || retry_rate < 0.5 || !retried = 0
+  then begin
+    Fmt.pr
+      "robustness: %d verdict change(s), clean load %b, retry rate %.2f \
+       (%d retried)@."
+      changes clean_load retry_rate !retried;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   if smoke then begin
@@ -637,6 +773,7 @@ let () =
     smoke_suite ();
     parallel_suite ();
     serve_suite ();
+    robustness_suite ();
     exit 0
   end;
   Fmt.pr "Retreet benchmark harness (paper: PPoPP 2021 evaluation)@.@.";

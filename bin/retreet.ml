@@ -349,12 +349,30 @@ let socket_arg =
           "Unix-domain socket path the daemon listens on (keep it short: \
            the kernel caps socket paths at ~100 bytes).")
 
+(* The server-side --inject: reuse the local UX ("list", early site
+   validation via parse_inject's arm-and-disarm probe), then hand the
+   parsed triple to the server, which arms it for the process lifetime.
+   This is how the I/O-plane sites (wire.*, snapshot.*, accept) are
+   exercised: they fire on the accept/handler threads, never inside a
+   worker's solve, so per-query arming would be meaningless. *)
+let parse_process_inject inject =
+  (match parse_inject inject with Some _ | None -> ());
+  match inject with
+  | None -> None
+  | Some spec -> (
+    match Serve.parse_inject_spec spec with
+    | Ok t -> Some t
+    | Error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2)
+
 let serve_cmd =
   let run verbose socket workers max_queue cache_nodes allowance window
-      grace =
+      grace read_deadline snapshot snapshot_every inject =
     setup_logs verbose;
+    let inject = parse_process_inject inject in
     Serve_server.run ~socket ~workers ~max_queue ~cache_nodes ~allowance
-      ~window ~grace ()
+      ~window ~grace ~read_deadline ?snapshot ~snapshot_every ?inject ()
   in
   Cmd.v
     (Cmd.info "serve" ~exits
@@ -397,23 +415,72 @@ let serve_cmd =
       $ Arg.(
           value & opt float 5.
           & info [ "grace" ] ~docv:"SECONDS"
-              ~doc:"Drain deadline for in-flight queries on SIGTERM."))
+              ~doc:"Drain deadline for in-flight queries on SIGTERM.")
+      $ Arg.(
+          value & opt float 30.
+          & info [ "read-deadline" ] ~docv:"SECONDS"
+              ~doc:
+                "Per-connection read deadline: a client silent this long \
+                 (mid-frame or between requests) is kicked with a typed \
+                 error so it cannot hold a handler slot.  0 disables.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "snapshot" ] ~docv:"PATH"
+              ~doc:
+                "Durable reply-cache snapshot file: loaded (tolerating \
+                 corrupt suffixes) on startup, rewritten atomically every \
+                 $(b,--snapshot-every) queries and on drain, so a restart \
+                 keeps the cache warm and kill -9 never yields a wrong or \
+                 torn reply.")
+      $ Arg.(
+          value & opt int 64
+          & info [ "snapshot-every" ] ~docv:"N"
+              ~doc:
+                "Solved queries between periodic snapshot saves (0: only \
+                 on drain).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "inject" ] ~docv:"SITE:SEED[:PERIOD]"
+              ~doc:
+                "Testing only: arm a fault site on the server process for \
+                 its whole lifetime — the way to exercise the I/O-plane \
+                 sites ($(b,wire.*), $(b,snapshot.*), $(b,accept)), which \
+                 solve-time options refuse.  $(b,--inject list) lists the \
+                 registered sites."))
 
 let ask_cmd =
-  let run verbose socket wait client budget vlevel inject metrics files =
+  let run verbose socket wait client budget vlevel inject metrics retries
+      backoff read_timeout files =
     setup_logs verbose;
-    (* reuse the local --inject UX ("list", early validation) before
-       shipping the raw spec to the daemon *)
-    (match parse_inject inject with Some _ | None -> ());
-    let inject =
+    (* a server killed mid-request must surface as EPIPE -> typed error
+       -> retry, not kill this client with SIGPIPE *)
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+    let inject = parse_process_inject inject in
+    (* split the spec by plane: wire.* faults are armed locally, per
+       attempt, with the attempt index folded into the seed (each
+       attempt reproducible alone, retries exploring fresh positions);
+       solver-plane sites ship to the daemon as a per-query option *)
+    let local_inject, remote_inject =
       match inject with
-      | None -> None
-      | Some spec -> (
-        match Serve.parse_inject_spec spec with
-        | Ok t -> Some t
-        | Error msg ->
-          Fmt.epr "%s@." msg;
-          exit 2)
+      | Some (site, _, _) when Serve.io_plane_site site -> (inject, None)
+      | _ -> (None, inject)
+    in
+    let arm =
+      Option.map
+        (fun (site, seed, period) attempt ->
+          Faults.arm ~period ~site ~seed:(seed + attempt) ())
+        local_inject
+    in
+    let retry =
+      { Serve_client.default_retry with retries = max 0 retries;
+        base = backoff }
+    in
+    let read_timeout = if read_timeout > 0. then Some read_timeout else None in
+    let request req =
+      Serve_client.request_with_retry ?arm ?read_timeout ~retry ~socket
+        ~wait req
     in
     if (not metrics) && files = [] then begin
       Fmt.epr
@@ -421,24 +488,16 @@ let ask_cmd =
          files or builtin:NAMEs at positions 0..); nothing was solved@.";
       exit exit_unknown
     end;
-    let conn =
-      match Serve_client.connect ~wait socket with
-      | Ok conn -> conn
-      | Error msg ->
-        Fmt.epr "retreet ask: %s@." msg;
-        exit 2
-    in
-    Fun.protect ~finally:(fun () -> Serve_client.close conn) @@ fun () ->
     let roundtrip req =
-      match Serve_client.roundtrip conn req with
-      | Ok reply -> reply
+      match request req with
+      | Ok (reply, _) -> reply
       | Error msg ->
         Fmt.epr "retreet ask: %s@." msg;
         exit 2
     in
     if metrics then begin
-      let _, _, payload = roundtrip Serve_wire.Metrics in
-      Fmt.pr "%s" payload;
+      let reply = roundtrip Serve_wire.Metrics in
+      Fmt.pr "%s" reply.Serve_client.payload;
       Format.pp_print_flush Fmt.stdout ();
       0
     end
@@ -462,24 +521,25 @@ let ask_cmd =
             exit 2
       in
       let opts =
-        Serve.options_to_assoc { Serve.client; budget; vlevel; inject }
+        Serve.options_to_assoc
+          { Serve.client; budget; vlevel; inject = remote_inject }
       in
       let codes =
         List.map
           (fun file ->
             let source = source_of file in
-            let status, code, payload =
-              roundtrip (Serve_wire.Solve { opts; source })
-            in
-            match status with
+            let reply = roundtrip (Serve_wire.Solve { opts; source }) in
+            let payload = reply.Serve_client.payload in
+            match reply.Serve_client.status with
             | "REPLY" ->
               Fmt.pr "%s: %s@." file payload;
-              code
+              reply.Serve_client.code
             | "ERROR" ->
               Fmt.epr "%s: %s@." file payload;
               2
             | _ ->
-              (* OVERLOADED / SERVER-UNKNOWN / DRAINING: unknown-shaped *)
+              (* OVERLOADED (retries exhausted) / SERVER-UNKNOWN /
+                 DRAINING: unknown-shaped *)
               Fmt.pr "%s: %s@." file payload;
               exit_unknown)
           files
@@ -514,6 +574,28 @@ let ask_cmd =
           value & flag
           & info [ "metrics" ]
               ~doc:"Print the daemon's metrics report instead of solving.")
+      $ Arg.(
+          value & opt int 2
+          & info [ "retries" ] ~docv:"N"
+              ~doc:
+                "Extra attempts after a connect failure, a torn exchange, \
+                 a read-timeout expiry, or an OVERLOADED reply.  Each \
+                 attempt reconnects fresh; the wait between attempts is a \
+                 bounded exponential backoff with deterministic jitter, \
+                 or the server's retry-after hint when it sent one.  0 \
+                 disables retrying.")
+      $ Arg.(
+          value & opt float 0.05
+          & info [ "backoff" ] ~docv:"SECONDS"
+              ~doc:"Base delay of the retry backoff (doubles per attempt, \
+                    capped at 2s).")
+      $ Arg.(
+          value & opt float 0.
+          & info [ "read-timeout" ] ~docv:"SECONDS"
+              ~doc:
+                "Fail an attempt whose reply stalls this long (0, the \
+                 default, waits forever: solves can legitimately run for \
+                 minutes).")
       $ Arg.(
           value & pos_all string []
           & info [] ~docv:"FILE" ~doc:"Program files or builtin:NAMEs."))

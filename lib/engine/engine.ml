@@ -279,6 +279,15 @@ module Ledger = struct
                 %.1fs, half-life %.0fs)"
                client e.debt t.allowance t.window))
 
+  let retry_hint ?now t ~client =
+    let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+    locked t (fun () ->
+        let e = entry t client now in
+        if e.debt <= t.allowance then 0.
+        else
+          (* debt * 2^(-dt/window) = allowance  ⇒  dt = window·log2(debt/allowance) *)
+          t.window *. (Float.log (e.debt /. t.allowance) /. Float.log 2.))
+
   let clients t =
     locked t (fun () ->
         Hashtbl.fold (fun _ e n -> if e.debt > 0. then n + 1 else n) t.tbl 0)

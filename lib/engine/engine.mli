@@ -116,6 +116,12 @@ module Ledger : sig
   (** [Ok ()] if the client is under its allowance, [Error why] (a
       human-readable shed reason) otherwise. *)
 
+  val retry_hint : ?now:float -> t -> client:string -> float
+  (** Seconds until the client's decayed debt falls back to its
+      allowance — [0.] if it is already admitted.  Servers send this to
+      shed clients as a [retry-after] hint so their backoff is informed
+      rather than blind (clients should still clamp it). *)
+
   val clients : t -> int
   (** Distinct clients with nonzero recorded debt. *)
 end

@@ -98,6 +98,10 @@ let fire s =
     end
     else false
 
+let hash_fraction ~seed k =
+  let h = fires_at ~name:"fraction" ~seed k in
+  float_of_int (h land 0xFFFFFF) /. float_of_int 0x1000000
+
 let fired_count ~site =
   let s = find_site site in
   match !(state ()) with

@@ -62,6 +62,13 @@ val fire : site -> bool
 (** The hook: [true] iff [site] is armed and fires at this hit.  A single
     [ref] read when nothing is armed. *)
 
+val hash_fraction : seed:int -> int -> float
+(** [hash_fraction ~seed k] — a deterministic fraction in [[0, 1)] from
+    the same multiplicative hash that drives the firing schedule.  Used
+    wherever robustness code needs {e reproducible} jitter (client retry
+    backoff, the chaos harness's event schedule) instead of
+    [Random.float], which would make failures unreplayable. *)
+
 val fired_count : site:string -> int
 (** How many times the site actually fired since it was last armed.
     @raise Invalid_argument on an unknown site name. *)

@@ -88,7 +88,7 @@ let options_to_assoc o =
 type reply =
   | Verdict of { code : int; text : string }
   | Bad_request of string
-  | Overloaded of string
+  | Overloaded of { msg : string; retry_after : float }
   | Server_unknown of string
   | Draining of string
 
@@ -106,7 +106,25 @@ let reply_code = function
 
 let reply_text = function
   | Verdict { text; _ } -> text
-  | Bad_request t | Overloaded t | Server_unknown t | Draining t -> t
+  | Overloaded { msg; _ } -> msg
+  | Bad_request t | Server_unknown t | Draining t -> t
+
+let reply_hints = function
+  | Overloaded { retry_after; _ } when retry_after > 0. ->
+    [ ("retry-after", Printf.sprintf "%.3f" retry_after) ]
+  | _ -> []
+
+(* The I/O-plane sites perturb transport and persistence, not solver
+   math: arming one around a worker's solve is meaningless, so the
+   daemon refuses them as per-query options — they are armed on the
+   server process ([retreet serve --inject]) or the client ([retreet
+   ask --inject]) instead. *)
+let io_plane_site name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "wire." || has_prefix "snapshot." || name = "accept"
 
 (* The one rendering of a data-race query result, shared with [retreet
    batch]: byte identity between the two modes is this function being
@@ -149,29 +167,111 @@ module Core = struct
     metrics : Serve_metrics.t;
     ledger : Engine.Ledger.t;
     max_queue : int;
+    workers : int;
     (* Connection threads share the accept domain's fault-arming state
        (Domain.DLS is per-domain, not per-thread), so the arm/submit
        window is a critical section. *)
     arm_m : Mutex.t;
     mutable stopping : bool;
+    (* Durability: [snapshot] is the on-disk home of the reply cache.
+       Saves happen on whichever handler thread trips the period, under
+       [snap_m]; a thread that finds the lock busy skips — the save in
+       flight is at most [snapshot_every] queries stale, which is the
+       contract anyway. *)
+    snapshot : string option;
+    snapshot_every : int;
+    snap_m : Mutex.t;
+    mutable since_save : int;
+    mutable snapshot_saves : int;
+    mutable snapshot_save_failures : int;
+    snapshot_loaded : int;
+    snapshot_load_status : Serve_snapshot.load_status option;
   }
 
   let create ?(workers = 2) ?(max_queue = 64) ?(cache_nodes = 1_000_000)
-      ?allowance ?window ?max_retries ?backoff () =
+      ?allowance ?window ?max_retries ?backoff ?snapshot
+      ?(snapshot_every = 64) () =
+    let cache = Serve_cache.create ~capacity:cache_nodes in
+    let loaded, load_status =
+      match snapshot with
+      | None -> (0, None)
+      | Some path ->
+        let entries, status = Serve_snapshot.load ~path in
+        List.iter
+          (fun (key, weight, value) ->
+            Serve_cache.add cache ~key ~weight value)
+          entries;
+        (List.length entries, Some status)
+    in
     {
       pool = Pool.Supervised.create ~workers ?max_retries ?backoff ();
-      cache = Serve_cache.create ~capacity:cache_nodes;
+      cache;
       metrics = Serve_metrics.create ();
       ledger = Engine.Ledger.create ?window ?allowance ();
       max_queue;
+      workers = max 1 workers;
       arm_m = Mutex.create ();
       stopping = false;
+      snapshot;
+      snapshot_every = max 0 snapshot_every;
+      snap_m = Mutex.create ();
+      since_save = 0;
+      snapshot_saves = 0;
+      snapshot_save_failures = 0;
+      snapshot_loaded = loaded;
+      snapshot_load_status = load_status;
     }
+
+  let snapshot_info t =
+    match t.snapshot_load_status with
+    | None -> None
+    | Some status -> Some (Serve_snapshot.describe status, t.snapshot_loaded)
+
+  (* Flush the reply cache to disk, atomically.  [block:false] (the
+     periodic path) skips if another thread is already saving. *)
+  let snapshot_now ?(block = true) t =
+    match t.snapshot with
+    | None -> Ok 0
+    | Some path ->
+      let locked =
+        if block then (Mutex.lock t.snap_m; true) else Mutex.try_lock t.snap_m
+      in
+      if not locked then Ok 0
+      else
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.snap_m)
+          (fun () ->
+            t.since_save <- 0;
+            match
+              Serve_snapshot.save ~path (Serve_cache.snapshot_entries t.cache)
+            with
+            | Ok bytes ->
+              t.snapshot_saves <- t.snapshot_saves + 1;
+              Ok bytes
+            | Error msg ->
+              (* masked: a failed save costs durability freshness, never
+                 a reply — the previous snapshot is still intact *)
+              t.snapshot_save_failures <- t.snapshot_save_failures + 1;
+              Error msg)
+
+  let maybe_snapshot t =
+    if t.snapshot <> None && t.snapshot_every > 0 then begin
+      t.since_save <- t.since_save + 1;
+      if t.since_save >= t.snapshot_every then
+        ignore (snapshot_now ~block:false t)
+    end
 
   let check_inject = function
     | None -> Ok None
     | Some (site, seed, period) ->
-      if List.mem_assoc site (Faults.all_sites ()) then
+      if io_plane_site site then
+        Error
+          (Printf.sprintf
+             "fault site %S is in the server's I/O plane; arm it with \
+              `retreet serve --inject` (server side) or locally in the \
+              client, not as a per-query option"
+             site)
+      else if List.mem_assoc site (Faults.all_sites ()) then
         Ok (Some (fun () -> Faults.arm ~period ~site ~seed ()))
       else
         Error
@@ -232,8 +332,10 @@ module Core = struct
         usage.Engine.wall_s;
       Serve_metrics.record_solve t.metrics usage.Engine.wall_s;
       let text, code = render_race r in
-      if cacheable options code then
+      if cacheable options code then begin
         Serve_cache.add t.cache ~key ~weight:usage.Engine.nodes (text, code);
+        maybe_snapshot t
+      end;
       Verdict { code; text }
     | Pool.Supervised.Crashed { attempts; last_exn } ->
       Serve_metrics.incr t.metrics Serve_metrics.Server_unknown;
@@ -256,15 +358,27 @@ module Core = struct
       match Engine.Ledger.admit t.ledger ~client:options.client with
       | Error msg ->
         Serve_metrics.incr t.metrics Serve_metrics.Overloaded;
-        Overloaded msg
+        Overloaded
+          {
+            msg;
+            retry_after =
+              Engine.Ledger.retry_hint t.ledger ~client:options.client;
+          }
       | Ok () -> (
         let depth = Pool.Supervised.depth t.pool in
         if depth >= t.max_queue then begin
           Serve_metrics.incr t.metrics Serve_metrics.Overloaded;
           Overloaded
-            (Printf.sprintf
-               "queue depth %d is at capacity %d; retry after a backoff"
-               depth t.max_queue)
+            {
+              msg =
+                Printf.sprintf
+                  "queue depth %d is at capacity %d; retry after a backoff"
+                  depth t.max_queue;
+              (* rough time for the backlog to clear one queue slot *)
+              retry_after =
+                Float.min 2.
+                  (0.05 *. float_of_int depth /. float_of_int t.workers);
+            }
         end
         else
           match check_inject options.inject with
@@ -327,11 +441,22 @@ module Core = struct
       (Printf.sprintf "%.1f" (1000. *. Serve_metrics.percentile m 0.99));
     int "clients_active" (Engine.Ledger.clients t.ledger);
     int "contexts_created" (Solver_ctx.created ());
+    int "snapshot_saves" t.snapshot_saves;
+    int "snapshot_save_failures" t.snapshot_save_failures;
+    int "snapshot_loaded_entries" t.snapshot_loaded;
+    (match t.snapshot_load_status with
+    | None -> ()
+    | Some status ->
+      line "snapshot_load_status" (Serve_snapshot.status_word status));
     Buffer.contents buf
 
   let draining t = t.stopping
 
   let drain ?grace t =
     t.stopping <- true;
-    Pool.Supervised.drain ?grace t.pool
+    let cut = Pool.Supervised.drain ?grace t.pool in
+    (* final flush after the pool is quiet: the snapshot on disk now
+       reflects every reply this process ever produced *)
+    ignore (snapshot_now t);
+    cut
 end

@@ -58,7 +58,10 @@ type reply =
           self-validation) and [text] is byte-identical to the batch
           per-program line *)
   | Bad_request of string  (** malformed options or program (exit 2) *)
-  | Overloaded of string  (** shed by admission control; retry later *)
+  | Overloaded of { msg : string; retry_after : float }
+      (** shed by admission control; [retry_after] (seconds, [0.] when
+          no estimate) rides the wire as a [retry-after] hint so client
+          backoff is informed rather than blind *)
   | Server_unknown of string
       (** the query crashed its worker on every attempt; the verdict is
           unknown but the daemon is healthy *)
@@ -73,6 +76,17 @@ val reply_code : reply -> int
     for [Bad_request], 3 for the rest (unknown-shaped degradations). *)
 
 val reply_text : reply -> string
+
+val reply_hints : reply -> (string * string) list
+(** Advisory [key=value] header hints for {!Serve_wire.write_reply}:
+    currently [retry-after] on a positive {!Overloaded} estimate. *)
+
+val io_plane_site : string -> bool
+(** Whether a fault-site name lives in the I/O plane ([wire.*],
+    [snapshot.*], [accept]) rather than the solver plane.  I/O-plane
+    sites are armed on the server process ([retreet serve --inject]) or
+    the client, never as per-query solve options — {!Core.solve} rejects
+    them with a typed [Bad_request]. *)
 
 (** {1 Rendering} *)
 
@@ -103,6 +117,8 @@ module Core : sig
     ?window:float ->
     ?max_retries:int ->
     ?backoff:(int -> float) ->
+    ?snapshot:string ->
+    ?snapshot_every:int ->
     unit ->
     t
   (** [create ()] starts the supervised worker pool and empty caches.
@@ -111,7 +127,13 @@ module Core : sig
       [1_000_000]) is the reply cache's node-weight capacity ([0]
       disables caching); [allowance]/[window] (defaults 30s/60s)
       parameterize the per-client {!Engine.Ledger}; [max_retries]
-      (default 1) and [backoff] are passed to {!Pool.Supervised.create}. *)
+      (default 1) and [backoff] are passed to {!Pool.Supervised.create}.
+
+      [snapshot], when given, makes the reply cache durable: entries in
+      the file (written by a previous process, {!Serve_snapshot}) are
+      loaded now — corrupt suffixes silently dropped — and the cache is
+      flushed back atomically every [snapshot_every] solved queries
+      (default 64; [0] disables periodic saves) and on {!drain}. *)
 
   val solve : t -> options:options -> source:string -> reply
   (** Run one query through admission control, the reply cache, and the
@@ -122,6 +144,18 @@ module Core : sig
   (** Count a request the transport rejected before it reached {!solve}
       (malformed wire options). *)
 
+  val snapshot_info : t -> (string * int) option
+  (** [(description, entries_loaded)] of the startup snapshot load —
+      [None] when the core was created without a snapshot path. *)
+
+  val snapshot_now : ?block:bool -> t -> (int, string) result
+  (** Flush the reply cache to the snapshot file now, atomically
+      (write-temp, fsync, rename).  [Ok bytes] on success ([Ok 0] when
+      no snapshot path is configured, or when [block:false] found
+      another save already in flight and skipped); [Error] is masked
+      into the [snapshot_save_failures] metric by the periodic path —
+      the previous snapshot on disk stays intact either way. *)
+
   val metrics_text : t -> string
   (** The [--metrics] report: one [key value] line each for uptime, qps,
       shed/degraded counts, cache hit rate and occupancy, queue depth,
@@ -130,7 +164,7 @@ module Core : sig
   val draining : t -> bool
 
   val drain : ?grace:float -> t -> int
-  (** Stop admitting queries ([solve] replies [Draining]) and drain the
-      pool ({!Pool.Supervised.drain}); returns the number of queries cut
-      by the grace deadline. *)
+  (** Stop admitting queries ([solve] replies [Draining]), drain the
+      pool ({!Pool.Supervised.drain}), and flush a final snapshot;
+      returns the number of queries cut by the grace deadline. *)
 end

@@ -91,6 +91,12 @@ let add t ~key ~weight value =
         t.total <- t.total + weight
       end)
 
+let snapshot_entries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.tbl []
+      |> List.sort (fun (_, a) (_, b) -> compare a.stamp b.stamp)
+      |> List.map (fun (key, (e : entry)) -> (key, e.weight, e.value)))
+
 let stats t =
   locked t (fun () ->
       {

@@ -41,6 +41,11 @@ val add : t -> key:string -> weight:int -> string * int -> unit
     the capacity, even transiently.  Re-adding an existing key
     refreshes it. *)
 
+val snapshot_entries : t -> (string * int * (string * int)) list
+(** Every resident [(key, weight, (text, code))], least recently used
+    first — re-{!add}ing them in order reproduces both the contents and
+    the LRU recency order (the {!Serve_snapshot} persistence format). *)
+
 val stats : t -> stats
 
 val clear : t -> unit

@@ -1,15 +1,32 @@
 (* Daemon client.  See serve_client.mli. *)
 
-type conn = { ic : in_channel; oc : out_channel }
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect ?(wait = 0.) path =
+type reply = {
+  status : string;
+  code : int;
+  payload : string;
+  hints : (string * string) list;
+}
+
+let connect ?(wait = 0.) ?read_timeout path =
   let deadline = Unix.gettimeofday () +. wait in
   let addr = Unix.ADDR_UNIX path in
   let rec go () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
     | () ->
-      Ok { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+      (match read_timeout with
+      | Some t when t > 0. -> (
+        try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t
+        with Unix.Unix_error _ -> ())
+      | _ -> ());
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+        }
     | exception
         Unix.Unix_error
           ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN), _, _)
@@ -25,13 +42,97 @@ let connect ?(wait = 0.) path =
   go ()
 
 let roundtrip conn req =
-  match Serve_wire.write_request conn.oc req with
-  | exception Sys_error msg -> Error ("connection lost: " ^ msg)
-  | () -> (
-    match Serve_wire.read_reply conn.ic with
-    | Some reply -> Ok reply
-    | None -> Error "the server closed the connection")
+  let oversized =
+    match req with
+    | Serve_wire.Solve { source; _ }
+      when String.length source > Serve_wire.max_payload ->
+      (* refusing locally matters: the server would reject the length
+         field anyway, but only after we wedged ourselves writing 16 MiB
+         into a socket buffer nobody is draining *)
+      Some
+        (Printf.sprintf
+           "request payload is %d bytes; the frame cap is %d — not sent"
+           (String.length source) Serve_wire.max_payload)
+    | _ -> None
+  in
+  match oversized with
+  | Some msg -> Error msg
+  | None -> (
+    match Serve_wire.write_request conn.oc req with
+    | exception Sys_error msg -> Error ("connection lost: " ^ msg)
+    | () -> (
+      match Serve_wire.read_reply conn.ic with
+      | Some (status, code, payload, hints) ->
+        Ok { status; code; payload; hints }
+      | None -> Error "the server closed the connection"
+      | exception Sys_error msg -> Error ("read failed: " ^ msg)
+      | exception Sys_blocked_io ->
+        (* SO_RCVTIMEO expired: the channel surfaces EAGAIN as
+           Sys_blocked_io *)
+        Error "read timed out waiting for the server's reply"))
 
 let close conn =
-  (try close_out_noerr conn.oc with _ -> ());
-  try close_in_noerr conn.ic with _ -> ()
+  (* one close for the shared fd: oc flushes and closes it; closing ic
+     as well would double-close a possibly reused descriptor number *)
+  close_out_noerr conn.oc
+
+(* --- retry engine --- *)
+
+type retry = { retries : int; base : float; cap : float; seed : int }
+
+let default_retry = { retries = 2; base = 0.05; cap = 2.0; seed = 0 }
+
+let backoff_delay r ~attempt ~hint =
+  let d =
+    match hint with
+    | Some h when h > 0. -> h
+    | _ ->
+      (* bounded exponential with deterministic jitter in [0.5, 1.0):
+         reproducible given (seed, attempt), unlike Random.float *)
+      r.base
+      *. (2. ** float_of_int attempt)
+      *. (0.5 +. (0.5 *. Faults.hash_fraction ~seed:r.seed attempt))
+  in
+  Float.min r.cap (Float.max 0. d)
+
+type attempt_stats = { attempts : int; slept : float }
+
+let retry_after_hint reply =
+  match List.assoc_opt "retry-after" reply.hints with
+  | Some v -> float_of_string_opt v
+  | None -> None
+
+let request_with_retry ?arm ?read_timeout ?(retry = default_retry)
+    ~socket ~wait req =
+  let slept = ref 0. in
+  let attempt_once k =
+    (match arm with Some arm -> arm k | None -> ());
+    Fun.protect
+      ~finally:(fun () -> if arm <> None then Faults.disarm ())
+      (fun () ->
+        match connect ~wait ?read_timeout socket with
+        | Error msg -> Error msg
+        | Ok conn ->
+          Fun.protect
+            ~finally:(fun () -> close conn)
+            (fun () -> roundtrip conn req))
+  in
+  let sleep d =
+    slept := !slept +. d;
+    Thread.delay d
+  in
+  let rec go k =
+    match attempt_once k with
+    | Ok r when r.status = "OVERLOADED" && k < retry.retries ->
+      sleep (backoff_delay retry ~attempt:k ~hint:(retry_after_hint r));
+      go (k + 1)
+    | Ok r -> Ok (r, { attempts = k + 1; slept = !slept })
+    | Error _ when k < retry.retries ->
+      sleep (backoff_delay retry ~attempt:k ~hint:None);
+      go (k + 1)
+    | Error msg ->
+      Error
+        (if k = 0 then msg
+         else Printf.sprintf "%s (after %d attempts)" msg (k + 1))
+  in
+  go 0

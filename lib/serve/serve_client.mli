@@ -1,17 +1,83 @@
-(** Client side of the daemon protocol, used by [retreet ask] and the
-    test suite. *)
+(** Client side of the daemon protocol, used by [retreet ask], the
+    benchmarks, and the test suite.
+
+    Two layers: {!connect}/{!roundtrip} is the bare exchange (one
+    request, one reply, typed errors on a torn transport); on top of it,
+    {!request_with_retry} is the robust path the CLI uses — connect and
+    read deadlines, bounded exponential backoff with deterministic
+    jitter, retry on connect failure / torn exchange / typed
+    [OVERLOADED] (honoring the server-sent [retry-after] hint), and
+    per-attempt fault re-arming so [--inject] composes with retries. *)
 
 type conn
 
-val connect : ?wait:float -> string -> (conn, string) result
+type reply = {
+  status : string;  (** the wire status token, e.g. ["REPLY"] *)
+  code : int;
+  payload : string;
+  hints : (string * string) list;
+      (** advisory header hints, e.g. [("retry-after", "0.250")] *)
+}
+
+val connect :
+  ?wait:float -> ?read_timeout:float -> string -> (conn, string) result
 (** Connect to the daemon's socket, retrying a missing or
     not-yet-listening socket for up to [wait] seconds (default 0: one
-    attempt) — so a client started concurrently with the server does
-    not race its bind. *)
+    attempt) — so a client started concurrently with the server does not
+    race its bind.  [read_timeout] (seconds, default none) installs a
+    socket receive deadline: a reply that stalls longer fails the next
+    {!roundtrip} with a typed error instead of hanging forever. *)
 
-val roundtrip :
-  conn -> Serve_wire.request -> (string * int * string, string) result
-(** Send one request and read the [(status, code, payload)] reply.
-    [Error] when the server closed the connection mid-exchange. *)
+val roundtrip : conn -> Serve_wire.request -> (reply, string) result
+(** Send one request and read the reply.  [Error] when the payload
+    exceeds the {!Serve_wire.max_payload} frame cap (refused locally,
+    before wedging the socket), when the server closed the connection
+    mid-exchange, or when the read deadline expired. *)
 
 val close : conn -> unit
+
+(** {1 Retry policy} *)
+
+type retry = {
+  retries : int;  (** additional attempts after the first *)
+  base : float;  (** backoff base delay, seconds *)
+  cap : float;  (** upper bound on any single delay (hints included) *)
+  seed : int;  (** jitter seed; same seed → same delays *)
+}
+
+val default_retry : retry
+(** 2 retries, 50 ms base, 2 s cap, seed 0. *)
+
+val backoff_delay : retry -> attempt:int -> hint:float option -> float
+(** The delay before retrying after failed attempt [attempt] (0-based):
+    the server's [retry-after] [hint] if one was sent, otherwise
+    [base * 2^attempt] scaled by a deterministic jitter in [[0.5, 1.0)]
+    ({!Faults.hash_fraction}); always clamped to [[0, cap]].  Pure —
+    unit-tested directly. *)
+
+type attempt_stats = { attempts : int; slept : float }
+
+val request_with_retry :
+  ?arm:(int -> unit) ->
+  ?read_timeout:float ->
+  ?retry:retry ->
+  socket:string ->
+  wait:float ->
+  Serve_wire.request ->
+  (reply * attempt_stats, string) result
+(** One request, robustly: each attempt opens a fresh connection
+    (waiting up to [wait] for the socket), exchanges, and closes.
+    Retried (up to [retry.retries] times, sleeping {!backoff_delay}
+    between attempts): connect failures, torn exchanges, read-deadline
+    expiries, and [OVERLOADED] replies (whose [retry-after] hint is
+    honored).  Every other reply — verdicts, typed errors, DRAINING,
+    SERVER-UNKNOWN — is returned as-is; retrying a {e decided} exchange
+    is the caller's policy call, not ours.
+
+    [arm], when given, is called with the attempt index before each
+    attempt and disarmed after it — the CLI passes a thunk that re-arms
+    [--inject SITE:SEED] with the attempt folded into the seed, so every
+    attempt is reproducible in isolation while retries still explore
+    different fault positions.  Solves are idempotent server-side (the
+    reply cache is content-keyed), so re-sending after a torn reply
+    cannot double-count anything but wall clock. *)

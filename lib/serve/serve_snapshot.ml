@@ -1,0 +1,222 @@
+(* Durable reply-cache snapshots.  See serve_snapshot.mli for the format
+   and the crash-safety contract. *)
+
+let write_site =
+  Faults.register ~name:"snapshot.write"
+    ~descr:"abort the snapshot temp-file write partway (crash/disk-full)"
+
+let load_site =
+  Faults.register ~name:"snapshot.load"
+    ~descr:"tear the snapshot read mid-record (torn or corrupt file)"
+
+type entry = string * int * (string * int)
+
+type load_status =
+  | Absent
+  | Clean of int
+  | Recovered of { kept : int; dropped_bytes : int }
+  | Unreadable of string
+
+let status_word = function
+  | Absent -> "absent"
+  | Clean _ -> "clean"
+  | Recovered _ -> "recovered"
+  | Unreadable _ -> "unreadable"
+
+let describe = function
+  | Absent -> "absent (cold start)"
+  | Clean n -> Printf.sprintf "clean (%d entries)" n
+  | Recovered { kept; dropped_bytes } ->
+    Printf.sprintf "recovered (%d entries, %d trailing bytes discarded)" kept
+      dropped_bytes
+  | Unreadable why -> Printf.sprintf "unreadable (%s)" why
+
+let magic = "RTSNAP01"
+let footer_sentinel = 0xFFFFFFFF
+
+(* A record body can hold a max_payload-sized reply plus its key and
+   fixed fields; anything claiming more is corruption, not data. *)
+let max_body = 64 * 1024 * 1024
+
+(* --- CRC-32 (IEEE 802.3, the zlib polynomial) --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0) s =
+  let t = Lazy.force crc_table in
+  let c = ref (crc lxor 0xffffffff) in
+  String.iter (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  !c lxor 0xffffffff
+
+(* --- encoding --- *)
+
+let encode_body (key, weight, (text, code)) =
+  let b =
+    Buffer.create (String.length key + String.length text + 16)
+  in
+  Buffer.add_uint16_be b (String.length key);
+  Buffer.add_string b key;
+  Buffer.add_int32_be b (Int32.of_int weight);
+  Buffer.add_int32_be b (Int32.of_int code);
+  Buffer.add_int32_be b (Int32.of_int (String.length text));
+  Buffer.add_string b text;
+  Buffer.contents b
+
+let add_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
+
+let encode entries =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  let running = ref 0 in
+  let count = ref 0 in
+  List.iter
+    (fun e ->
+      if Faults.fire write_site then
+        raise (Sys_error "snapshot.write: injected partial write");
+      let body = encode_body e in
+      add_u32 b (String.length body);
+      Buffer.add_string b body;
+      add_u32 b (crc32 body);
+      running := crc32 ~crc:!running body;
+      incr count)
+    entries;
+  add_u32 b footer_sentinel;
+  add_u32 b !count;
+  add_u32 b !running;
+  Buffer.contents b
+
+(* kill -9 mid-save leaves the dead process's temp file behind; sweep
+   such debris on the next successful save.  Only one server owns a
+   snapshot path (the socket would clash first), so anything matching
+   the temp pattern with a foreign pid is garbage by construction. *)
+let sweep_stale_temps ~path ~keep =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".tmp." in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        if
+          String.length name > String.length prefix
+          && String.sub name 0 (String.length prefix) = prefix
+          && Filename.concat dir name <> keep
+        then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      names
+
+let save ~path entries =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  match
+    let data = encode entries in
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    (match
+       let n = String.length data in
+       let written =
+         Unix.write_substring fd data 0 n
+       in
+       if written <> n then raise (Sys_error "short snapshot write");
+       Unix.fsync fd
+     with
+    | () -> Unix.close fd
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+    Unix.rename tmp path;
+    (* fsync the directory so the rename itself is durable; best-effort
+       (some filesystems refuse O_RDONLY fsync on directories) *)
+    (try
+       let d = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+       (try Unix.fsync d with Unix.Unix_error _ -> ());
+       Unix.close d
+     with Unix.Unix_error _ -> ());
+    sweep_stale_temps ~path ~keep:tmp;
+    String.length data
+  with
+  | n -> Ok n
+  | exception Sys_error msg ->
+    cleanup ();
+    Error msg
+  | exception Unix.Unix_error (e, op, _) ->
+    cleanup ();
+    Error (Printf.sprintf "%s: %s" op (Unix.error_message e))
+
+(* --- decoding --- *)
+
+let u32 s pos = Int32.to_int (String.get_int32_be s pos) land 0xFFFFFFFF
+
+let decode_body body =
+  let len = String.length body in
+  if len < 2 then None
+  else
+    let keylen = String.get_uint16_be body 0 in
+    if len < 2 + keylen + 12 then None
+    else
+      let key = String.sub body 2 keylen in
+      let weight = u32 body (2 + keylen) in
+      let code = u32 body (2 + keylen + 4) in
+      let textlen = u32 body (2 + keylen + 8) in
+      if 2 + keylen + 12 + textlen <> len then None
+      else
+        let text = String.sub body (2 + keylen + 12) textlen in
+        Some (key, weight, (text, code))
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> ([], Absent)
+  | data ->
+    let len = String.length data in
+    if len < String.length magic || String.sub data 0 (String.length magic) <> magic
+    then ([], Unreadable "bad magic")
+    else begin
+      let entries = ref [] in
+      let kept = ref 0 in
+      let running = ref 0 in
+      let pos = ref (String.length magic) in
+      let finished = ref None in
+      let stop status = finished := Some status in
+      let recovered () =
+        Recovered { kept = !kept; dropped_bytes = len - !pos }
+      in
+      while !finished = None do
+        if Faults.fire load_site then stop (recovered ())
+        else if !pos + 4 > len then stop (recovered ())
+        else begin
+          let n = u32 data !pos in
+          if n = footer_sentinel then
+            if !pos + 12 > len then stop (recovered ())
+            else begin
+              let count = u32 data (!pos + 4) in
+              let crc = u32 data (!pos + 8) in
+              if count = !kept && crc = !running && !pos + 12 = len then
+                stop (Clean !kept)
+              else stop (recovered ())
+            end
+          else if n > max_body || !pos + 8 + n > len then stop (recovered ())
+          else begin
+            let body = String.sub data (!pos + 4) n in
+            let crc = u32 data (!pos + 4 + n) in
+            if crc <> crc32 body then stop (recovered ())
+            else
+              match decode_body body with
+              | None -> stop (recovered ())
+              | Some e ->
+                entries := e :: !entries;
+                incr kept;
+                running := crc32 ~crc:!running body;
+                pos := !pos + 8 + n
+          end
+        end
+      done;
+      let status = Option.get !finished in
+      (List.rev !entries, status)
+    end

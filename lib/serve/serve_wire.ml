@@ -7,10 +7,36 @@ type request =
 
 let max_payload = 16 * 1024 * 1024
 
+(* I/O-plane fault sites: [read_site] tears a payload read short (the
+   peer appears to die mid-frame); [write_site] cuts a frame write after
+   a torn header prefix and fails like a broken pipe.  Both simulate the
+   transport failing under us — the discipline under test is that every
+   consumer turns the tear into a typed error or a clean drop, never a
+   crash or a mixed frame. *)
+let read_site =
+  Faults.register ~name:"wire.read"
+    ~descr:"tear a frame's payload read short (peer dies mid-frame)"
+
+let write_site =
+  Faults.register ~name:"wire.write"
+    ~descr:"cut a frame write after a torn prefix (broken pipe)"
+
 let read_payload ic n =
+  if Faults.fire read_site then begin
+    (* consume a strict prefix, then fail as the kernel would on a dead
+       peer: the stream position is ruined, exactly like a real tear *)
+    let b = Bytes.create (n / 2) in
+    (try really_input ic b 0 (n / 2) with End_of_file -> ());
+    raise End_of_file
+  end;
   let b = Bytes.create n in
   really_input ic b 0 n;
   Bytes.unsafe_to_string b
+
+let torn_write oc prefix =
+  output_string oc prefix;
+  (try flush oc with Sys_error _ -> ());
+  raise (Sys_error "wire.write: injected partial write (broken pipe)")
 
 let parse_kv tok =
   match String.index_opt tok '=' with
@@ -26,6 +52,12 @@ let tokens line =
 let length_field s =
   match int_of_string_opt s with
   | Some n when n >= 0 && n <= max_payload -> Ok n
+  | Some n when n > max_payload ->
+    Error
+      (Printf.sprintf
+         "payload length %d exceeds the %d-byte frame cap; split the \
+          request or raise the cap on both ends"
+         n max_payload)
   | _ -> Error (Printf.sprintf "bad payload length %S" s)
 
 let read_request ic =
@@ -53,14 +85,21 @@ let read_request ic =
       | _ -> Error (Printf.sprintf "bad request line %S" line))
 
 let write_request oc = function
-  | Ping -> output_string oc "PING\n"; flush oc
-  | Metrics -> output_string oc "METRICS\n"; flush oc
+  | Ping ->
+    if Faults.fire write_site then torn_write oc "PI";
+    output_string oc "PING\n"; flush oc
+  | Metrics ->
+    if Faults.fire write_site then torn_write oc "MET";
+    output_string oc "METRICS\n"; flush oc
   | Solve { opts; source } ->
     let opts =
       String.concat ""
         (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) opts)
     in
-    Printf.fprintf oc "SOLVE %d%s\n" (String.length source) opts;
+    let header = Printf.sprintf "SOLVE %d%s\n" (String.length source) opts in
+    if Faults.fire write_site then
+      torn_write oc (String.sub header 0 (String.length header / 2));
+    output_string oc header;
     output_string oc source;
     flush oc
 
@@ -69,16 +108,28 @@ let read_reply ic =
   | exception End_of_file -> None
   | line -> (
     match tokens line with
-    | [ status; code; len ] -> (
+    | status :: code :: len :: hint_toks -> (
+      let hints =
+        List.filter_map
+          (fun tok -> Result.to_option (parse_kv tok))
+          hint_toks
+      in
       match (int_of_string_opt code, length_field len) with
       | Some code, Ok n -> (
         match read_payload ic n with
-        | payload -> Some (status, code, payload)
+        | payload -> Some (status, code, payload, hints)
         | exception End_of_file -> None)
       | _ -> None)
     | _ -> None)
 
-let write_reply oc ~status ~code payload =
-  Printf.fprintf oc "%s %d %d\n" status code (String.length payload);
+let write_reply oc ~status ~code ?(hints = []) payload =
+  let header =
+    Printf.sprintf "%s %d %d%s\n" status code (String.length payload)
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) hints))
+  in
+  if Faults.fire write_site then
+    torn_write oc (String.sub header 0 (String.length header / 2));
+  output_string oc header;
   output_string oc payload;
   flush oc

@@ -96,9 +96,57 @@ admitted:
   $ OSRV=$!
   $ retreet ask --socket o.sock --wait 10 --client greedy builtin:size_counting
   builtin:size_counting: data-race-free
-  $ retreet ask --socket o.sock --client greedy builtin:size_counting | grep -o 'over budget'
+(--retries 0: by default the client would honor the server's
+retry-after hint and back off before giving up; here the shed reply
+itself is the point.)
+
+  $ retreet ask --socket o.sock --retries 0 --client greedy builtin:size_counting | grep -o 'over budget'
   over budget
   $ retreet ask --socket o.sock --client modest builtin:size_counting
   builtin:size_counting: data-race-free
   $ kill -TERM $OSRV
   $ wait $OSRV
+
+Durability: with --snapshot, the reply cache survives restarts.  Solve
+once, drain on SIGTERM (which saves the snapshot), restart, and the
+same query is answered byte-identically from the reloaded cache —
+without a single new solve:
+
+  $ retreet serve --socket d.sock --snapshot d.snap > d1.log 2>&1 &
+  $ DSRV=$!
+  $ retreet ask --socket d.sock --wait 10 builtin:size_counting builtin:racy_writers > warm.out
+  [1]
+  $ kill -TERM $DSRV
+  $ wait $DSRV
+  $ test -s d.snap
+  $ retreet serve --socket d.sock --snapshot d.snap > d2.log 2>&1 &
+  $ DSRV=$!
+  $ retreet ask --socket d.sock --wait 10 builtin:size_counting builtin:racy_writers > warm2.out
+  [1]
+  $ cmp warm.out warm2.out
+  $ retreet ask --socket d.sock --metrics > d.metrics
+  $ awk '$1 == "snapshot_load_status" { print $2 }' d.metrics
+  clean
+  $ awk '$1 == "solves" { print $2 }' d.metrics
+  0
+  $ awk '$1 == "cache_hits" { print $2 }' d.metrics
+  2
+
+kill -9 is not a clean drain: whatever snapshot was last saved is
+still loaded intact on the next start (valid prefix, never a torn or
+wrong reply), and the verdicts still match batch byte for byte:
+
+  $ kill -9 $DSRV
+  $ wait $DSRV
+  [137]
+  $ retreet serve --socket d.sock --snapshot d.snap > d3.log 2>&1 &
+  $ DSRV=$!
+  $ retreet ask --socket d.sock --wait 10 builtin:size_counting builtin:racy_writers > warm3.out
+  [1]
+  $ cmp warm.out warm3.out
+  $ retreet batch builtin:size_counting builtin:racy_writers > batch_warm.out
+  [1]
+  $ cmp warm.out batch_warm.out
+  $ kill -TERM $DSRV
+  $ wait $DSRV
+  $ test ! -e d.sock

@@ -1,0 +1,347 @@
+(* Chaos soak: real retreet processes under fire.
+
+   One `retreet serve` daemon (with a durable snapshot) and waves of
+   concurrent `retreet ask` clients run for a bounded wall clock while
+   the harness injects wire/pool faults into individual clients and
+   randomly restarts the server — alternating graceful SIGTERM drains
+   with kill -9.  Determinism comes from Faults.hash_fraction over
+   CHAOS_SEED; wall clock from CHAOS_SECONDS.
+
+   Invariants checked, in decreasing order of importance:
+   - zero wrong verdicts: every definitive line a client prints is
+     byte-identical to the cold `retreet batch` truth table; anything
+     else must be a typed degradation (UNKNOWN / OVERLOADED / DRAINING /
+     transport error), never a different verdict;
+   - client exit codes stay in the documented set {0,1,2,3};
+   - after the final graceful drain the socket file and all
+     snapshot temp files are gone (no leaked debris);
+   - a warm restart from the surviving snapshot answers every program
+     byte-identically to the truth table (cache-reload identity), and
+     reports a clean-or-recovered snapshot load in its metrics.
+
+   Run with `dune build @chaos`; not part of runtest. *)
+
+let bin =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: test_chaos RETREET_BINARY";
+    exit 2
+  end
+  else Sys.argv.(1)
+
+let getenv_default name default = try Sys.getenv name with Not_found -> default
+let seconds = float_of_string (getenv_default "CHAOS_SECONDS" "10")
+let seed = int_of_string (getenv_default "CHAOS_SEED" "42")
+let socket = "chaos.sock"
+let snapshot = "chaos.snap"
+let server_log = "chaos.server.log"
+
+let programs =
+  [
+    "builtin:size_counting";
+    "builtin:racy_writers";
+    "builtin:size_counting_fused";
+    "builtin:tree_mutation_seq";
+  ]
+
+(* Client-side fault specs thrown into some asks: wire.* arm locally in
+   the client, pool.submit ships to the server as a per-query option and
+   crashes the worker that picks the query up (supervisor restarts it). *)
+let injects = [ "wire.read"; "wire.write"; "pool.submit" ]
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL: %s\n%!" msg)
+    fmt
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Deterministic choice stream: k-th draw of the run. *)
+let draws = ref 0
+
+let draw () =
+  incr draws;
+  Faults.hash_fraction ~seed !draws
+
+let pick l = List.nth l (int_of_float (draw () *. float_of_int (List.length l)))
+
+(* --- process plumbing --- *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error _ -> ""
+
+type proc = { pid : int; out_file : string; argv : string array }
+
+let spawn ?(append_to = None) argv =
+  let out_file, fd =
+    match append_to with
+    | Some path ->
+      ( path,
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+      )
+    | None ->
+      let path = Printf.sprintf "chaos.out.%d" !draws in
+      incr draws;
+      (path, Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644)
+  in
+  let pid = Unix.create_process argv.(0) argv Unix.stdin fd fd in
+  Unix.close fd;
+  { pid; out_file; argv }
+
+let wait_proc p =
+  let _, status = Unix.waitpid [] p.pid in
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED s -> 128 + s
+    | Unix.WSTOPPED s -> 128 + s
+  in
+  (code, read_file p.out_file)
+
+(* --- server lifecycle --- *)
+
+let start_server () =
+  spawn ~append_to:(Some server_log)
+    [|
+      bin; "serve"; "--socket"; socket; "--workers"; "2"; "--max-queue"; "32";
+      "--grace"; "5"; "--read-deadline"; "2"; "--snapshot"; snapshot;
+      "--snapshot-every"; "2";
+    |]
+
+let wait_for_socket ?(timeout = 10.) () =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () ->
+      Unix.close fd;
+      true
+    | exception Unix.Unix_error _ ->
+      Unix.close fd;
+      if Unix.gettimeofday () >= deadline then false
+      else begin
+        Thread.delay 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let stop_server ~graceful server =
+  Unix.kill server.pid (if graceful then Sys.sigterm else Sys.sigkill);
+  wait_proc server
+
+(* --- truth table: cold batch, the byte-identity reference --- *)
+
+let truth =
+  let p = spawn (Array.of_list ((bin :: [ "batch" ]) @ programs)) in
+  let code, out = wait_proc p in
+  if code <> 1 (* racy_writers is a counterexample: most-severe code 1 *)
+  then begin
+    Printf.printf "cold batch exited %d:\n%s%!" code out;
+    exit 2
+  end;
+  let lines = String.split_on_char '\n' (String.trim out) in
+  List.map
+    (fun prog ->
+      match
+        List.find_opt
+          (fun l -> contains ~sub:(prog ^ ": ") (l ^ " ")
+                    && String.length l > String.length prog
+                    && String.sub l 0 (String.length prog + 2) = prog ^ ": ")
+          lines
+      with
+      | Some l -> (prog, l)
+      | None ->
+        Printf.printf "cold batch printed no line for %s:\n%s%!" prog out;
+        exit 2)
+    programs
+
+let truth_line prog = List.assoc prog truth
+
+(* A line is a definitive verdict if its payload claims a result; those
+   must byte-match the truth table.  Everything else must read as a
+   typed degradation. *)
+let definitive line =
+  let payload prog =
+    let p = prog ^ ": " in
+    if String.length line > String.length p
+       && String.sub line 0 (String.length p) = p
+    then Some (String.sub line (String.length p)
+                 (String.length line - String.length p))
+    else None
+  in
+  List.exists
+    (fun prog ->
+      match payload prog with
+      | Some rest ->
+        contains ~sub:"data-race-free" rest || contains ~sub:"DATA RACE" rest
+      | None -> false)
+    programs
+
+let degradation line =
+  List.exists
+    (fun sub -> contains ~sub line)
+    [ "UNKNOWN"; "OVERLOADED"; "over budget"; "DRAINING"; "draining";
+      "SERVER-UNKNOWN"; "shed" ]
+
+(* --- one ask client --- *)
+
+let spawn_ask ?inject prog =
+  let base =
+    [
+      bin; "ask"; "--socket"; socket; "--wait"; "10"; "--retries"; "4";
+      "--backoff"; "0.05"; "--read-timeout"; "15";
+    ]
+  in
+  let extra =
+    match inject with
+    | None -> []
+    | Some site ->
+      [ "--inject"; Printf.sprintf "%s:%d:3" site (1 + (!draws mod 7)) ]
+  in
+  spawn (Array.of_list (base @ extra @ [ prog ]))
+
+let asks_total = ref 0
+let asks_exact = ref 0
+let asks_degraded = ref 0
+let asks_transport = ref 0
+
+let check_ask prog (code, out) =
+  incr asks_total;
+  if not (List.mem code [ 0; 1; 2; 3 ]) then
+    fail "ask %s exited %d (outside {0,1,2,3}); output: %s" prog code out;
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' out)
+  in
+  match lines with
+  | [] ->
+    (* no output at all: only acceptable as a transport failure *)
+    if code <> 2 then fail "ask %s: empty output with exit %d" prog code
+    else incr asks_transport
+  | ls ->
+    List.iter
+      (fun line ->
+        if line = truth_line prog then incr asks_exact
+        else if definitive line then
+          fail "WRONG VERDICT for %s: %S (truth: %S)" prog line
+            (truth_line prog)
+        else if degradation line || code = 2 then incr asks_degraded
+        else fail "ask %s: untyped line %S (exit %d)" prog line code)
+      ls
+
+(* --- the soak --- *)
+
+let () =
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [ socket; snapshot; server_log ];
+  Array.iter
+    (fun f ->
+      if String.length f >= 10 && String.sub f 0 10 = "chaos.snap" && f <> snapshot
+      then try Sys.remove f with Sys_error _ -> ())
+    (Sys.readdir ".");
+  Printf.printf "chaos: %gs soak, seed %d, truth table:\n%!" seconds seed;
+  List.iter (fun (_, l) -> Printf.printf "  %s\n%!" l) truth;
+  let server = ref (start_server ()) in
+  if not (wait_for_socket ()) then begin
+    Printf.printf "server never bound %s:\n%s%!" socket (read_file server_log);
+    exit 2
+  end;
+  let deadline = Unix.gettimeofday () +. seconds in
+  let restarts_graceful = ref 0 in
+  let restarts_kill9 = ref 0 in
+  let round = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    incr round;
+    (* a wave of concurrent clients, some carrying faults *)
+    let wave =
+      List.init 3 (fun _ ->
+          let prog = pick programs in
+          let inject = if draw () < 0.3 then Some (pick injects) else None in
+          (prog, spawn_ask ?inject prog))
+    in
+    (* mid-flight, sometimes restart the server under the clients *)
+    if draw () < 0.4 then begin
+      let graceful = draw () < 0.5 in
+      let code, _ = stop_server ~graceful !server in
+      if graceful then begin
+        incr restarts_graceful;
+        if code <> 0 then fail "graceful drain exited %d" code
+      end
+      else begin
+        incr restarts_kill9;
+        if code <> 128 + Sys.sigkill then
+          fail "kill -9'd server reported status %d" code
+      end;
+      server := start_server ();
+      if not (wait_for_socket ()) then begin
+        fail "server did not come back after %s restart (round %d)"
+          (if graceful then "graceful" else "kill -9")
+          !round;
+        Printf.printf "%s%!" (read_file server_log);
+        exit 1
+      end
+    end;
+    List.iter (fun (prog, p) -> check_ask prog (wait_proc p)) wave
+  done;
+  (* final graceful drain: no socket, no temp debris *)
+  let code, _ = stop_server ~graceful:true !server in
+  if code <> 0 then fail "final graceful drain exited %d" code;
+  if Sys.file_exists socket then fail "socket file %s leaked past drain" socket;
+  Array.iter
+    (fun f ->
+      if String.length f > String.length snapshot + 4
+         && String.sub f 0 (String.length snapshot + 5) = snapshot ^ ".tmp."
+      then fail "snapshot temp debris leaked: %s" f)
+    (Sys.readdir ".");
+  if not (Sys.file_exists snapshot) then
+    fail "no snapshot survived the final drain";
+  (* warm restart: cache-reload byte identity with the cold batch *)
+  let warm = start_server () in
+  if not (wait_for_socket ()) then begin
+    Printf.printf "warm server never bound:\n%s%!" (read_file server_log);
+    exit 1
+  end;
+  List.iter
+    (fun prog ->
+      let code, out = wait_proc (spawn_ask prog) in
+      let line = String.trim out in
+      if line <> truth_line prog then
+        fail "warm restart: %s answered %S, truth %S (exit %d)" prog line
+          (truth_line prog) code)
+    programs;
+  let mcode, metrics =
+    wait_proc
+      (spawn [| bin; "ask"; "--socket"; socket; "--wait"; "10"; "--metrics" |])
+  in
+  if mcode <> 0 then fail "metrics ask exited %d" mcode;
+  (* the metrics text is column-aligned: match the line, then its value *)
+  let load_status_ok =
+    List.exists
+      (fun line ->
+        contains ~sub:"snapshot_load_status" line
+        && (contains ~sub:"clean" line || contains ~sub:"recovered" line))
+      (String.split_on_char '\n' metrics)
+  in
+  if not load_status_ok then
+    fail "warm server did not load the snapshot; metrics:\n%s" metrics;
+  ignore (stop_server ~graceful:true warm);
+  Printf.printf
+    "chaos: %d rounds, %d asks (%d exact, %d degraded, %d transport), %d \
+     graceful restarts, %d kill -9 restarts\n%!"
+    !round !asks_total !asks_exact !asks_degraded !asks_transport
+    !restarts_graceful !restarts_kill9;
+  if !failures > 0 then begin
+    Printf.printf "chaos: %d FAILURES\n%!" !failures;
+    exit 1
+  end;
+  print_endline "chaos: clean"

@@ -271,6 +271,186 @@ let test_eviction_never_flips () =
           done))
     [ 1_000_000; 1; 0 ]
 
+(* --- durable snapshots: roundtrip, kill-9 fuzz, injected faults --- *)
+
+let snap_entries =
+  [
+    ("key-one", 3, ("data-race-free", 0));
+    ("key-two", 1, ("DATA RACE", 1));
+    ("key-three", 17, ("UNKNOWN: wall-clock budget exhausted", 3));
+  ]
+
+let with_temp_path f =
+  let path = Filename.temp_file "retreet-snap" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (path
+        :: (match Sys.readdir (Filename.dirname path) with
+           | exception Sys_error _ -> []
+           | names ->
+             Array.to_list names
+             |> List.filter_map (fun n ->
+                    let full = Filename.concat (Filename.dirname path) n in
+                    if
+                      String.length n > String.length (Filename.basename path)
+                      && String.sub n 0 (String.length (Filename.basename path))
+                         = Filename.basename path
+                    then Some full
+                    else None))))
+    (fun () -> f path)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let rec is_prefix shorter longer =
+  match (shorter, longer) with
+  | [], _ -> true
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | _ :: _, [] -> false
+
+let test_snapshot_roundtrip () =
+  with_temp_path (fun path ->
+      (match Serve_snapshot.save ~path snap_entries with
+      | Ok n -> Alcotest.(check bool) "wrote bytes" true (n > 0)
+      | Error e -> Alcotest.fail ("save failed: " ^ e));
+      let entries, status = Serve_snapshot.load ~path in
+      (match status with
+      | Serve_snapshot.Clean 3 -> ()
+      | s -> Alcotest.fail ("expected clean load, got " ^ Serve_snapshot.describe s));
+      Alcotest.(check bool) "entries roundtrip in order" true
+        (entries = snap_entries);
+      (* the empty snapshot is valid too *)
+      (match Serve_snapshot.save ~path [] with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("empty save failed: " ^ e));
+      match Serve_snapshot.load ~path with
+      | [], Serve_snapshot.Clean 0 -> ()
+      | _, s ->
+        Alcotest.fail ("empty snapshot misloaded: " ^ Serve_snapshot.describe s))
+
+(* kill -9 at any byte offset: truncating the file at every position, or
+   flipping any single byte, must yield a valid prefix of the saved
+   entries (each kept reply byte-identical) or an empty cache — never a
+   wrong reply, never an exception. *)
+let test_snapshot_kill9_fuzz () =
+  with_temp_path (fun path ->
+      (match Serve_snapshot.save ~path snap_entries with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      let data = read_file path in
+      let len = String.length data in
+      Alcotest.(check bool) "snapshot is non-trivial" true (len > 40);
+      let check_mutant what mutant =
+        write_file path mutant;
+        let entries, status = Serve_snapshot.load ~path in
+        if not (is_prefix entries snap_entries) then
+          Alcotest.fail
+            (Printf.sprintf "%s: load returned a non-prefix (%s)" what
+               (Serve_snapshot.describe status))
+      in
+      for cut = 0 to len - 1 do
+        check_mutant
+          (Printf.sprintf "truncated at %d" cut)
+          (String.sub data 0 cut)
+      done;
+      for pos = 0 to len - 1 do
+        let b = Bytes.of_string data in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
+        check_mutant (Printf.sprintf "byte %d flipped" pos) (Bytes.to_string b)
+      done;
+      (* trailing garbage after a clean footer is also just dropped *)
+      check_mutant "trailing garbage" (data ^ "garbage-after-footer"))
+
+let test_snapshot_write_fault () =
+  with_temp_path (fun path ->
+      (match Serve_snapshot.save ~path snap_entries with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      let before = read_file path in
+      Faults.arm ~site:"snapshot.write" ~seed:1 ~period:1 ();
+      let r =
+        Fun.protect ~finally:Faults.disarm (fun () ->
+            Serve_snapshot.save ~path
+              [ ("other-key", 1, ("other reply", 0)) ])
+      in
+      (match r with
+      | Error msg ->
+        Alcotest.(check bool) "failure names the site" true
+          (contains ~sub:"snapshot.write" msg)
+      | Ok _ -> Alcotest.fail "injected write fault did not fail the save");
+      Alcotest.(check string) "old snapshot untouched" before (read_file path);
+      (* no torn temp file left behind *)
+      let dir = Filename.dirname path and base = Filename.basename path in
+      Array.iter
+        (fun n ->
+          if
+            String.length n > String.length base
+            && String.sub n 0 (String.length base) = base
+          then Alcotest.fail ("temp debris left behind: " ^ n))
+        (Sys.readdir dir);
+      (* and an injected load tear degrades to a valid prefix *)
+      Faults.arm ~site:"snapshot.load" ~seed:1 ~period:1 ();
+      let entries, status =
+        Fun.protect ~finally:Faults.disarm (fun () ->
+            Serve_snapshot.load ~path)
+      in
+      Alcotest.(check bool) "torn load is a prefix" true
+        (is_prefix entries snap_entries);
+      match status with
+      | Serve_snapshot.Recovered _ -> ()
+      | s ->
+        Alcotest.fail ("expected recovery, got " ^ Serve_snapshot.describe s))
+
+(* Warm restart through Core: a second core created on the same snapshot
+   path replays byte-identical replies from the reloaded cache, without
+   solving anything. *)
+let test_core_warm_restart () =
+  with_temp_path (fun path ->
+      Sys.remove path;
+      let progs = [ "size_counting"; "racy_writers" ] in
+      let expected = List.map (fun n -> batch_line n) progs in
+      let core1 =
+        Serve.Core.create ~workers:2 ~snapshot:path ~snapshot_every:1000 ()
+      in
+      (match Serve.Core.snapshot_info core1 with
+      | Some (descr, 0) ->
+        Alcotest.(check bool) "first boot is cold" true
+          (contains ~sub:"absent" descr)
+      | _ -> Alcotest.fail "expected an absent-snapshot cold start");
+      List.iter
+        (fun name ->
+          ignore (Serve.Core.solve core1 ~options:(opts ()) ~source:(source name)))
+        progs;
+      ignore (Serve.Core.drain ~grace:5. core1);
+      Alcotest.(check bool) "drain wrote the snapshot" true (Sys.file_exists path);
+      let core2 = Serve.Core.create ~workers:2 ~snapshot:path () in
+      Fun.protect
+        ~finally:(fun () -> ignore (Serve.Core.drain ~grace:1. core2))
+        (fun () ->
+          (match Serve.Core.snapshot_info core2 with
+          | Some (_, n) ->
+            Alcotest.(check int) "both replies restored" 2 n
+          | None -> Alcotest.fail "no snapshot info on the restarted core");
+          List.iter2
+            (fun name expect ->
+              let got =
+                Serve.Core.solve core2 ~options:(opts ()) ~source:(source name)
+                |> verdict_of_reply name
+              in
+              Alcotest.(check (pair string int))
+                (name ^ " byte-identical after restart") expect got)
+            progs expected;
+          (* all replies came from the reloaded cache: no solves ran *)
+          match (metric core2 "solves", metric core2 "cache_hits") with
+          | Some s, Some h ->
+            Alcotest.(check string) "no warm-restart solves" "0" s;
+            Alcotest.(check string) "both queries hit" "2" h
+          | _ -> Alcotest.fail "missing solves/cache_hits metrics"))
+
 (* --- admission ledger, on an explicit clock --- *)
 
 let test_ledger () =
@@ -332,6 +512,51 @@ let test_metered () =
   | Error _ -> Alcotest.fail "inner exhaustion escaped the meter");
   Alcotest.(check bool) "nested extent charged back" true (u2.Engine.steps >= 3)
 
+(* --- retry policy: pure backoff math and the ledger's hint --- *)
+
+let test_backoff_delay () =
+  let r = { Serve_client.default_retry with base = 0.1; cap = 1.0; seed = 7 } in
+  (* deterministic: same (seed, attempt) -> same delay *)
+  List.iter
+    (fun attempt ->
+      let d1 = Serve_client.backoff_delay r ~attempt ~hint:None in
+      let d2 = Serve_client.backoff_delay r ~attempt ~hint:None in
+      Alcotest.(check (float 0.)) "deterministic jitter" d1 d2;
+      (* jitter scales base*2^attempt by [0.5, 1.0), capped *)
+      let nominal = r.Serve_client.base *. (2. ** float_of_int attempt) in
+      Alcotest.(check bool) "within the jitter band" true
+        (d1 >= Float.min r.Serve_client.cap (0.5 *. nominal)
+        && d1 <= r.Serve_client.cap
+        && d1 <= nominal))
+    [ 0; 1; 2; 3; 8 ];
+  (* a server hint overrides the schedule but never the cap *)
+  Alcotest.(check (float 0.)) "hint honored" 0.25
+    (Serve_client.backoff_delay r ~attempt:0 ~hint:(Some 0.25));
+  Alcotest.(check (float 0.)) "hint capped" 1.0
+    (Serve_client.backoff_delay r ~attempt:0 ~hint:(Some 30.));
+  Alcotest.(check bool) "negative hint falls back clamped" true
+    (Serve_client.backoff_delay r ~attempt:0 ~hint:(Some (-1.)) >= 0.)
+
+let test_retry_hint () =
+  let l = Engine.Ledger.create ~window:10. ~allowance:1. () in
+  let t0 = 2000. in
+  Alcotest.(check (float 0.)) "admitted client needs no wait" 0.
+    (Engine.Ledger.retry_hint ~now:t0 l ~client:"a");
+  Engine.Ledger.charge ~now:t0 l ~client:"a" 4.;
+  let h = Engine.Ledger.retry_hint ~now:t0 l ~client:"a" in
+  (* debt 4, allowance 1, half-life 10 => exactly two half-lives *)
+  Alcotest.(check (float 1e-9)) "hint is the decay time" 20. h;
+  (* waiting out the hint admits the client again *)
+  (match Engine.Ledger.admit ~now:(t0 +. h) l ~client:"a" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("hint did not clear the debt: " ^ e));
+  (* and the overloaded reply carries it onto the wire *)
+  let reply = Serve.Overloaded { msg = "m"; retry_after = 0.5 } in
+  Alcotest.(check bool) "overloaded reply hints retry-after" true
+    (List.mem_assoc "retry-after" (Serve.reply_hints reply));
+  Alcotest.(check bool) "verdicts carry no hints" true
+    (Serve.reply_hints (Serve.Verdict { code = 0; text = "t" }) = [])
+
 (* --- wire options roundtrip and cache fingerprints --- *)
 
 let test_options_roundtrip () =
@@ -382,10 +607,26 @@ let () =
           Alcotest.test_case "crash isolation under concurrency" `Slow
             test_crash_isolation_concurrent;
         ] );
+      ( "durability",
+        [
+          Alcotest.test_case "snapshot roundtrip" `Quick
+            test_snapshot_roundtrip;
+          Alcotest.test_case "kill -9 at any offset yields a valid prefix"
+            `Quick test_snapshot_kill9_fuzz;
+          Alcotest.test_case "injected write/load faults are typed" `Quick
+            test_snapshot_write_fault;
+          Alcotest.test_case "warm restart is byte-identical" `Slow
+            test_core_warm_restart;
+        ] );
       ( "admission",
         [
           Alcotest.test_case "ledger decay and shed" `Quick test_ledger;
           Alcotest.test_case "metered accounting" `Quick test_metered;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff delay math" `Quick test_backoff_delay;
+          Alcotest.test_case "ledger retry hint" `Quick test_retry_hint;
         ] );
       ("wire", [ Alcotest.test_case "options roundtrip" `Quick test_options_roundtrip ]);
     ]
