@@ -766,6 +766,39 @@ let robustness_suite () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Generated corpus: scenario-factory throughput and ground-truth
+   agreement on a fixed-seed corpus through the batch + serve planes.   *)
+
+let corpus_suite () =
+  let seed = 42 and count = 12 in
+  Fmt.pr "@.== Generated corpus: factory throughput + ground truth ==@.";
+  let scenarios, t_gen = time (fun () -> Factory.sample ~seed ~count) in
+  let cfg = { Corpus.default_config with jobs; serve_sample = 4 } in
+  let s, t_solve = time (fun () -> Corpus.run_campaign cfg scenarios) in
+  let disagree = List.length s.Corpus.disagreements in
+  let rate t n = if t > 0. then float_of_int n /. t else 0. in
+  Fmt.pr "  generated %d scenarios in %.2fs (%.0f/s), %d queries in %.2fs \
+          (%.1f/s)@."
+    count t_gen (rate t_gen count) s.Corpus.queries t_solve
+    (rate t_solve s.Corpus.queries);
+  Fmt.pr "  %a@." Corpus.pp_summary s;
+  let oc = open_out "BENCH_corpus.json" in
+  Printf.fprintf oc
+    "{\n  \"seed\": %d,\n  \"generated\": %d,\n  \"gen_wall_s\": %.3f,\n  \
+     \"gen_rate_per_s\": %.1f,\n  \"queries\": %d,\n  \"solve_wall_s\": \
+     %.3f,\n  \"solve_rate_per_s\": %.2f,\n  \"agree\": %d,\n  \
+     \"unknown\": %d,\n  \"disagreements\": %d\n}\n"
+    seed count t_gen (rate t_gen count) s.Corpus.queries t_solve
+    (rate t_solve s.Corpus.queries)
+    s.Corpus.agree s.Corpus.unknown disagree;
+  close_out oc;
+  Fmt.pr "  wrote BENCH_corpus.json@.";
+  if disagree > 0 then begin
+    Fmt.pr "corpus: %d ground-truth disagreement(s)@." disagree;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   if smoke then begin
@@ -773,6 +806,7 @@ let () =
     smoke_suite ();
     parallel_suite ();
     serve_suite ();
+    corpus_suite ();
     robustness_suite ();
     exit 0
   end;

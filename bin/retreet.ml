@@ -738,6 +738,107 @@ let fuse_cmd =
           & opt (list string) []
           & info [ "traversals" ] ~doc:"Traversals to fuse, in order."))
 
+(* --- gen --- *)
+
+let gen_cmd =
+  let run verbose seed count out check jobs serve_sample budget vlevel inject
+      =
+    setup_logs verbose;
+    let arm = parse_inject inject in
+    let inject_spec =
+      match inject with
+      | Some spec when arm <> None -> (
+        match Serve.parse_inject_spec spec with Ok t -> Some t | Error _ -> None)
+      | _ -> None
+    in
+    if out = None && not check then begin
+      (* Mirrors the empty-batch contract: nothing was generated or
+         solved, which harnesses must not mistake for a clean campaign. *)
+      Fmt.epr
+        "retreet: gen: nothing to do (pass --out DIR to write a corpus, \
+         --check to run the ground-truth campaign, or both)@.";
+      exit exit_unknown
+    end;
+    let scenarios = Factory.sample ~seed ~count in
+    Option.iter
+      (fun dir ->
+        (match Corpus.prepare_out_dir dir with
+        | Ok () -> ()
+        | Error msg ->
+          Fmt.epr "retreet: gen: %s@." msg;
+          exit 2);
+        let files = Corpus.write_corpus ~dir scenarios in
+        Fmt.pr "gen: seed %d: wrote %d scenarios (%d files) to %s@." seed
+          count (List.length files) dir)
+      out;
+    if not check then 0
+    else begin
+      (* an unbounded campaign can wedge on a sabotaged query; default to
+         the corpus budget unless the user capped something explicitly *)
+      let budget =
+        if Engine.is_unlimited budget then Corpus.default_budget else budget
+      in
+      let cfg =
+        { Corpus.jobs; budget; vlevel; arm; inject = inject_spec;
+          serve_sample }
+      in
+      let summary = Corpus.run_campaign cfg scenarios in
+      Fmt.pr "%a@." Corpus.pp_summary summary;
+      match summary.Corpus.disagreements with
+      | [] -> 0
+      | worst :: _ ->
+        (* fail loudly, and leave a minimal reproducer behind *)
+        let minimal = Corpus.shrink cfg worst in
+        let dir = Option.value out ~default:"." in
+        let path = Corpus.write_repro ~dir minimal in
+        Fmt.pr "wrote minimal reproducer to %s@." path;
+        1
+    end
+  in
+  Cmd.v
+    (Cmd.info "gen" ~exits
+       ~doc:
+         "Generate a ground-truth corpus of random traversal scenarios \
+          (racy/race-free parallel pairs, valid/broken fusions over \
+          synthetic and CSS-derived trees) and optionally verify every \
+          solver verdict against the constructed truth.  Any disagreement \
+          exits 1 and writes a shrunk $(b,.retreet) reproducer.")
+    Term.(
+      const run $ verbose_arg
+      $ Arg.(
+          value & opt int 0
+          & info [ "seed" ] ~docv:"N"
+              ~doc:
+                "PRNG seed.  The same seed yields a byte-identical corpus \
+                 on every machine.")
+      $ Arg.(
+          value & opt int 8
+          & info [ "count" ] ~docv:"K" ~doc:"Number of scenarios to sample.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"DIR"
+              ~doc:
+                "Write the corpus ($(b,.retreet) programs, fused siblings, \
+                 block maps, CSS provenance, MANIFEST.tsv) to this \
+                 directory.")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Run the ground-truth campaign: every scenario through the \
+                 batch race plane (and the serve core for byte identity), \
+                 fusion pairs through the equivalence query; compare all \
+                 verdicts against the constructed truth.")
+      $ jobs_arg
+      $ Arg.(
+          value & opt int 4
+          & info [ "serve-sample" ] ~docv:"M"
+              ~doc:
+                "Cross-check this many scenarios through the serve core \
+                 for byte identity with the batch plane (0 disables).")
+      $ budget_term $ validate_arg $ inject_arg)
+
 (* --- baseline --- *)
 
 let baseline_cmd =
@@ -799,7 +900,7 @@ let () =
     Cmd.group (Cmd.info "retreet" ~doc)
       [
         check_cmd; race_cmd; batch_cmd; serve_cmd; ask_cmd; equiv_cmd;
-        run_cmd; fuse_cmd; baseline_cmd; mona_cmd;
+        run_cmd; fuse_cmd; gen_cmd; baseline_cmd; mona_cmd;
       ]
   in
   exit (Cmd.eval' main)

@@ -1,0 +1,51 @@
+The scenario-factory CLI end to end.
+
+With neither --out nor --check there is nothing to do: exit 3, like any
+other degenerate invocation.
+
+  $ retreet gen
+  retreet: gen: nothing to do (pass --out DIR to write a corpus, --check to run the ground-truth campaign, or both)
+  [3]
+
+Generation is byte-deterministic in the seed: two runs produce
+identical corpora, down to the MANIFEST.
+
+  $ retreet gen --seed 4 --count 3 --out a
+  gen: seed 4: wrote 3 scenarios (6 files) to a
+  $ retreet gen --seed 4 --count 3 --out b
+  gen: seed 4: wrote 3 scenarios (6 files) to b
+  $ diff -r a b
+
+The MANIFEST carries the ground truth for every scenario:
+
+  $ cat a/MANIFEST.tsv
+  # name	kind	family	expect_race	expect_equiv	files
+  0000_fuse_broken_syn	fuse_broken	syn	race-free	non-equivalent	0000_fuse_broken_syn.retreet,0000_fuse_broken_syn.fused.retreet,0000_fuse_broken_syn.map
+  0001_par_clean_syn	par_clean	syn	race-free	-	0001_par_clean_syn.retreet
+  0002_par_racy_syn	par_racy	syn	racy	-	0002_par_racy_syn.retreet
+
+A different seed is a different corpus:
+
+  $ retreet gen --seed 5 --count 3 --out c
+  gen: seed 5: wrote 3 scenarios (9 files) to c
+  $ diff -rq a c > /dev/null
+  [1]
+
+Every emitted program parses and is well-formed:
+
+  $ for f in a/*.retreet; do retreet check "$f" > /dev/null || echo "BAD $f"; done
+
+gen refuses to write into a directory it did not produce (no
+MANIFEST.tsv), but happily overwrites its own output:
+
+  $ mkdir dirty && touch dirty/precious.txt
+  $ retreet gen --seed 4 --count 3 --out dirty
+  retreet: gen: dirty is non-empty and has no MANIFEST.tsv; refusing to write into a directory gen did not produce
+  [2]
+  $ retreet gen --seed 9 --count 1 --out a
+  gen: seed 9: wrote 1 scenarios (4 files) to a
+
+A small ground-truth campaign, under the deterministic default budget:
+
+  $ retreet gen --seed 4 --count 2 --check --serve-sample 1
+  corpus campaign: 2 scenarios, 5 queries: 4 agree, 0 unknown, 0 DISAGREE

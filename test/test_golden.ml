@@ -1,0 +1,106 @@
+(* Golden verdicts for every bundled program.
+
+   The table pins, for each program under [programs/], the data-race
+   verdict AND the exit code a client sees — rendered through
+   {!Serve.render_race}, the single rendering shared by [retreet batch]
+   and the daemon, so these goldens cover the presentation contract as
+   well as the solver.  Three cheap equivalence pairs (the paper's E1,
+   E2, E4) are pinned the same way.  A solver change that flips any of
+   these verdicts, or degrades one to Unknown under the generous budget
+   below, fails loudly here instead of surfacing downstream. *)
+
+(* Decides every bundled query in well under a second; a regression that
+   blows past it degrades to Unknown, which the table treats as a
+   failure (goldens must stay decided). *)
+let budget =
+  Engine.budget ~max_steps:100_000 ~max_bdd_nodes:2_000_000
+    ~max_states:20_000 ()
+
+let race_table =
+  [
+    ("size_counting", Programs.size_counting, `Free);
+    ("size_counting_seq", Programs.size_counting_seq, `Free);
+    ("size_counting_fused", Programs.size_counting_fused, `Free);
+    ("size_counting_fused_invalid", Programs.size_counting_fused_invalid,
+     `Free);
+    ("tree_mutation_seq", Programs.tree_mutation_seq, `Free);
+    ("tree_mutation_fused", Programs.tree_mutation_fused, `Free);
+    ("css_minification_seq", Programs.css_minification_seq, `Free);
+    ("css_minification_fused", Programs.css_minification_fused, `Free);
+    ("cycletree_seq", Programs.cycletree_seq, `Free);
+    ("cycletree_fused", Programs.cycletree_fused, `Free);
+    ("cycletree_par", Programs.cycletree_par, `Race);
+    ("racy_writers", Programs.racy_writers, `Race);
+  ]
+
+let test_race_goldens () =
+  List.iter
+    (fun (name, src, expect) ->
+      let info = Programs.load src in
+      let text, code =
+        Serve.render_race
+          (Ok (Validate.check_data_race ~level:Validate.Witness ~budget info))
+      in
+      match expect with
+      | `Free ->
+        Alcotest.(check string) (name ^ ": text") "data-race-free" text;
+        Alcotest.(check int) (name ^ ": exit code") 0 code
+      | `Race ->
+        Alcotest.(check string) (name ^ ": text") "DATA RACE" text;
+        Alcotest.(check int) (name ^ ": exit code") 1 code)
+    race_table
+
+(* Block maps as in bench/main.ml (Table 1). *)
+let map_fused =
+  [ ("s0", "fnil"); ("s4", "fnil"); ("s3", "fret"); ("s7", "fret");
+    ("s10", "s10") ]
+
+let map_mutation =
+  [ ("wnil", "wnil"); ("inil", "wnil"); ("wset", "wset");
+    ("ileaf", "ileaf"); ("istep", "istep"); ("mret", "mret") ]
+
+let equiv_table =
+  [
+    ("E1 size_counting fusion", Programs.size_counting_seq,
+     Programs.size_counting_fused, map_fused, `Equivalent);
+    ("E2 invalid fusion", Programs.size_counting_seq,
+     Programs.size_counting_fused_invalid, map_fused, `Not_equivalent);
+    ("E4 tree_mutation fusion", Programs.tree_mutation_seq,
+     Programs.tree_mutation_fused, map_mutation, `Equivalent);
+  ]
+
+let test_equiv_goldens () =
+  List.iter
+    (fun (name, seq, fused, map, expect) ->
+      let p = Programs.load seq and p' = Programs.load fused in
+      let verdict, report =
+        Validate.check_equivalence ~level:Validate.Witness ~budget p p' ~map
+      in
+      if not (Validate.ok report) then
+        Alcotest.failf "%s: verdict failed self-validation" name;
+      match (verdict, expect) with
+      | Analysis.Equivalent _, `Equivalent -> ()
+      | Analysis.Not_equivalent cx, `Not_equivalent ->
+        (* the golden counterexample must replay concretely *)
+        if not (Analysis.replay_equivalence p p' cx) then
+          Alcotest.failf "%s: counterexample did not replay" name
+      | v, _ ->
+        Alcotest.failf "%s: verdict flipped (%s)" name
+          (match v with
+          | Analysis.Equivalent _ -> "equivalent"
+          | Analysis.Not_equivalent _ -> "not equivalent"
+          | Analysis.Bisimulation_failed _ -> "bisimulation failed"
+          | Analysis.Equiv_unknown _ -> "unknown"))
+    equiv_table
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "verdicts",
+        [
+          Alcotest.test_case "race + exit code, all bundled programs" `Quick
+            test_race_goldens;
+          Alcotest.test_case "equivalence (E1/E2/E4)" `Quick
+            test_equiv_goldens;
+        ] );
+    ]

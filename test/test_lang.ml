@@ -38,6 +38,28 @@ let test_roundtrip () =
         (Blocks.all_blocks b1) (Blocks.all_blocks b2))
     Programs.all_named
 
+(* The canonical printer must round-trip every bundled program *exactly*
+   (labels included, unlike the block-level check above), and printing must
+   be idempotent: parse/print reaches a fixed point after one iteration. *)
+let test_pretty_roundtrip () =
+  List.iter
+    (fun (name, src) ->
+      let p1 = parse src in
+      let printed = Pretty.print_prog p1 in
+      let p2 =
+        try parse printed
+        with Parser.Error e ->
+          Alcotest.failf "%s: canonical print failed to reparse: %s\n%s" name
+            e printed
+      in
+      if not (Pretty.equal_prog p1 p2) then
+        Alcotest.failf "%s: print/reparse changed the AST\n%s" name printed;
+      Alcotest.(check string)
+        (name ^ ": printing is idempotent")
+        printed
+        (Pretty.print_prog p2))
+    Programs.all_named
+
 let test_parse_errors () =
   let bad s =
     match parse s with
@@ -249,6 +271,7 @@ let () =
         [
           Alcotest.test_case "running example" `Quick test_parse_running;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "program files" `Quick test_program_files;
         ] );
